@@ -1,0 +1,48 @@
+// Shared helpers for the experiment harnesses (one binary per paper
+// table/figure; see DESIGN.md's experiment index).
+#ifndef ARCADE_BENCH_COMMON_HPP
+#define ARCADE_BENCH_COMMON_HPP
+
+#include <chrono>
+#include <iostream>
+#include <string>
+
+#include "arcade/compiler.hpp"
+#include "arcade/measures.hpp"
+#include "support/errors.hpp"
+#include "support/series.hpp"
+#include "watertree/watertree.hpp"
+
+namespace bench {
+
+inline const arcade::watertree::Strategy& strategy(const std::string& name) {
+    static const auto all = arcade::watertree::paper_strategies();
+    for (const auto& s : all) {
+        if (s.name == name) return s;
+    }
+    throw arcade::InvalidArgument("unknown strategy " + name);
+}
+
+/// Compiles with the lumped encoding (identical measures, far fewer states;
+/// the equivalence is asserted by the test suite).
+inline arcade::core::CompiledModel compile_lumped(const arcade::core::ArcadeModel& model) {
+    arcade::core::CompileOptions options;
+    options.encoding = arcade::core::Encoding::Lumped;
+    return arcade::core::compile(model, options);
+}
+
+class Stopwatch {
+public:
+    Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+    [[nodiscard]] double seconds() const {
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace bench
+
+#endif  // ARCADE_BENCH_COMMON_HPP

@@ -1,0 +1,27 @@
+// Reproduces Figure 10: instantaneous cost of Line 2 after Disaster 2 for
+// FFF-1 / FFF-2 / FRF-1 / FRF-2 over [0, 50] h.  Paper shape: all start at
+// 15 (five failed components x 3/h); FFF-1 converges slowest (repeated pump
+// failures during the long sand-filter repair re-inflate the cost).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace core = arcade::core;
+namespace wt = arcade::watertree;
+
+int main() {
+    const auto times = arcade::time_grid(50.0, 101);
+
+    bench::Stopwatch watch;
+    arcade::Figure fig("Figure 10: instantaneous cost Line 2, Disaster 2", "t in hours",
+                       "Impuls costs (I)");
+    fig.set_times(times);
+    const auto disaster = wt::disaster2();
+    for (const auto* name : {"FFF-1", "FFF-2", "FRF-1", "FRF-2"}) {
+        const auto model = bench::compile_lumped(wt::line2(bench::strategy(name)));
+        fig.add_series(name, core::instantaneous_cost_series(model, disaster, times));
+    }
+    fig.print(std::cout);
+    std::cout << "# elapsed: " << watch.seconds() << " s\n";
+    return 0;
+}

@@ -1,0 +1,26 @@
+// Reproduces Figure 11: accumulated cost of Line 2 after Disaster 2 for
+// FFF-1 / FFF-2 / FRF-1 / FRF-2 over [0, 50] h.  Paper shape: FFF-1 highest
+// (slowest instantaneous-cost convergence); FRF-2 lowest.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace core = arcade::core;
+namespace wt = arcade::watertree;
+
+int main() {
+    const auto times = arcade::time_grid(50.0, 101);
+
+    bench::Stopwatch watch;
+    arcade::Figure fig("Figure 11: accumulated cost Line 2, Disaster 2", "t in hours",
+                       "Cumulative costs (I)");
+    fig.set_times(times);
+    const auto disaster = wt::disaster2();
+    for (const auto* name : {"FFF-1", "FFF-2", "FRF-1", "FRF-2"}) {
+        const auto model = bench::compile_lumped(wt::line2(bench::strategy(name)));
+        fig.add_series(name, core::accumulated_cost_series(model, disaster, times));
+    }
+    fig.print(std::cout);
+    std::cout << "# elapsed: " << watch.seconds() << " s\n";
+    return 0;
+}

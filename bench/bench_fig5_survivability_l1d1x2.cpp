@@ -1,0 +1,27 @@
+// Reproduces Figure 5: survivability of Line 1 after Disaster 1, recovery
+// to service interval X2 (service >= 2/3).  Paper shape: as Figure 4 but
+// slower (two pump repairs needed instead of one).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace core = arcade::core;
+namespace wt = arcade::watertree;
+
+int main() {
+    const auto times = arcade::time_grid(4.5, 91);
+    const double x2 = 2.0 / 3.0;
+
+    bench::Stopwatch watch;
+    arcade::Figure fig("Figure 5: survivability Line 1, Disaster 1, X2 (service >= 2/3)",
+                       "t in hours", "Probability (S)");
+    fig.set_times(times);
+    for (const auto* name : {"DED", "FRF-1", "FRF-2"}) {
+        const auto model = bench::compile_lumped(wt::line1(bench::strategy(name)));
+        const auto disaster = wt::disaster1(model.model());
+        fig.add_series(name, core::survivability_series(model, disaster, x2, times));
+    }
+    fig.print(std::cout);
+    std::cout << "# elapsed: " << watch.seconds() << " s\n";
+    return 0;
+}

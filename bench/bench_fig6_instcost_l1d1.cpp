@@ -1,0 +1,27 @@
+// Reproduces Figure 6: instantaneous cost of Line 1 after Disaster 1 for
+// DED / FRF-1 / FRF-2.  Paper shape: DED starts at ~19 (12 failed-pump cost
+// + 7 idle crews) and converges to 11 (all crews idle); FRF-1 converges to
+// 1 and FRF-2 to 2 (their idle-crew costs); FRF-1 converges slowest.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace core = arcade::core;
+namespace wt = arcade::watertree;
+
+int main() {
+    const auto times = arcade::time_grid(4.5, 91);
+
+    bench::Stopwatch watch;
+    arcade::Figure fig("Figure 6: instantaneous cost Line 1, Disaster 1", "t in hours",
+                       "Impuls Costs (I)");
+    fig.set_times(times);
+    for (const auto* name : {"DED", "FRF-1", "FRF-2"}) {
+        const auto model = bench::compile_lumped(wt::line1(bench::strategy(name)));
+        const auto disaster = wt::disaster1(model.model());
+        fig.add_series(name, core::instantaneous_cost_series(model, disaster, times));
+    }
+    fig.print(std::cout);
+    std::cout << "# elapsed: " << watch.seconds() << " s\n";
+    return 0;
+}

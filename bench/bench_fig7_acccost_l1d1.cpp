@@ -1,0 +1,26 @@
+// Reproduces Figure 7: accumulated cost of Line 1 after Disaster 1 for
+// DED / FRF-1 / FRF-2 over [0, 10] h.  Paper shape: DED highest
+// (~115 at 10 h, slope -> 11/h); FRF-2 slightly below FRF-1 during recovery.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace core = arcade::core;
+namespace wt = arcade::watertree;
+
+int main() {
+    const auto times = arcade::time_grid(10.0, 101);
+
+    bench::Stopwatch watch;
+    arcade::Figure fig("Figure 7: accumulated cost Line 1, Disaster 1", "t in hours",
+                       "Cumulative costs (I)");
+    fig.set_times(times);
+    for (const auto* name : {"DED", "FRF-1", "FRF-2"}) {
+        const auto model = bench::compile_lumped(wt::line1(bench::strategy(name)));
+        const auto disaster = wt::disaster1(model.model());
+        fig.add_series(name, core::accumulated_cost_series(model, disaster, times));
+    }
+    fig.print(std::cout);
+    std::cout << "# elapsed: " << watch.seconds() << " s\n";
+    return 0;
+}

@@ -1,0 +1,29 @@
+// Reproduces Figure 8: survivability of Line 2 after Disaster 2 (two pumps,
+// one softener, one sand filter and the reservoir fail), recovery to X1
+// (service >= 1/3), for all five strategies.  Paper shape: FFF-1 clearly
+// slowest (the reservoir is repaired last under FFF); DED fastest.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace core = arcade::core;
+namespace wt = arcade::watertree;
+
+int main() {
+    const auto times = arcade::time_grid(100.0, 101);
+    const double x1 = 1.0 / 3.0;
+
+    bench::Stopwatch watch;
+    arcade::Figure fig("Figure 8: survivability Line 2, Disaster 2, X1 (service >= 1/3)",
+                       "t in hours", "Probability (S)");
+    fig.set_times(times);
+    const auto disaster = wt::disaster2();
+    for (const auto* name : {"DED", "FFF-1", "FFF-2", "FRF-1", "FRF-2"}) {
+        const auto model = bench::compile_lumped(wt::line2(bench::strategy(name)));
+        fig.add_series(name, core::survivability_series(model, disaster, x1, times));
+    }
+    fig.print(std::cout);
+    std::cout << "# paper check: FFF-1 slowest recovery to X1; DED fastest\n";
+    std::cout << "# elapsed: " << watch.seconds() << " s\n";
+    return 0;
+}

@@ -1,0 +1,108 @@
+// Engine micro-benchmarks (google-benchmark): the numerical kernels behind
+// every experiment — state-space construction, sparse matvec, Fox–Glynn,
+// transient uniformisation, steady-state Gauss–Seidel, bounded until.
+#include <benchmark/benchmark.h>
+
+#include "arcade/compiler.hpp"
+#include "arcade/measures.hpp"
+#include "ctmc/bounded_until.hpp"
+#include "ctmc/steady_state.hpp"
+#include "ctmc/transient.hpp"
+#include "numeric/fox_glynn.hpp"
+#include "watertree/watertree.hpp"
+
+namespace core = arcade::core;
+namespace wt = arcade::watertree;
+
+namespace {
+
+const wt::Strategy& strategy(const char* name) {
+    static const auto all = wt::paper_strategies();
+    for (const auto& s : all) {
+        if (s.name == name) return s;
+    }
+    std::abort();
+}
+
+const core::CompiledModel& line2_frf1() {
+    static const auto model = core::compile(wt::line2(strategy("FRF-1")));
+    return model;
+}
+
+const core::CompiledModel& line2_frf1_lumped() {
+    static const auto model = [] {
+        core::CompileOptions options;
+        options.encoding = core::Encoding::Lumped;
+        return core::compile(wt::line2(strategy("FRF-1")), options);
+    }();
+    return model;
+}
+
+void BM_StateSpaceLine2Individual(benchmark::State& state) {
+    const auto model = wt::line2(strategy("FRF-1"));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::compile(model).state_count());
+    }
+}
+BENCHMARK(BM_StateSpaceLine2Individual)->Unit(benchmark::kMillisecond);
+
+void BM_StateSpaceLine1Individual(benchmark::State& state) {
+    const auto model = wt::line1(strategy("FRF-1"));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::compile(model).state_count());
+    }
+}
+BENCHMARK(BM_StateSpaceLine1Individual)->Unit(benchmark::kMillisecond);
+
+void BM_FoxGlynn(benchmark::State& state) {
+    const double q = static_cast<double>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(arcade::numeric::fox_glynn(q, 1e-12).weights.size());
+    }
+}
+BENCHMARK(BM_FoxGlynn)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_SparseMatvec(benchmark::State& state) {
+    const auto& model = line2_frf1();
+    std::vector<double> x(model.state_count(), 1.0 / model.state_count());
+    std::vector<double> y(model.state_count(), 0.0);
+    for (auto _ : state) {
+        model.chain().rates().multiply_left(x, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_SparseMatvec);
+
+void BM_TransientLine2(benchmark::State& state) {
+    const auto& model = line2_frf1();
+    const auto init = model.chain().initial_distribution();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            arcade::ctmc::transient_distribution(model.chain(), init, 10.0).front());
+    }
+}
+BENCHMARK(BM_TransientLine2)->Unit(benchmark::kMillisecond);
+
+void BM_SteadyStateLine2(benchmark::State& state) {
+    const auto& model = line2_frf1();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            arcade::ctmc::steady_state_probability(model.chain(), model.operational_states()));
+    }
+}
+BENCHMARK(BM_SteadyStateLine2)->Unit(benchmark::kMillisecond);
+
+void BM_SurvivabilityCurveLumped(benchmark::State& state) {
+    const auto& model = line2_frf1_lumped();
+    const auto disaster = wt::disaster2();
+    const std::vector<double> times{0.0, 25.0, 50.0, 75.0, 100.0};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::survivability_series(model, disaster, 1.0 / 3.0, times).back());
+    }
+}
+BENCHMARK(BM_SurvivabilityCurveLumped)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,727 @@
+#include "arcade/compiler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "arcade/fault_tree.hpp"
+#include "linalg/csr_matrix.hpp"
+#include "support/errors.hpp"
+
+namespace arcade::core {
+
+namespace {
+
+using State = std::vector<std::int16_t>;
+
+/// How a repair unit behaves for encoding purposes.
+enum class RuKind { None, Dedicated, Queue };
+
+struct RuPlan {
+    RuKind kind = RuKind::None;
+    std::size_t crews = 1;
+    bool preemptive = false;
+    double idle_cost_rate = 1.0;
+    /// classes in priority order (best first); members in component-index order
+    std::vector<std::vector<std::size_t>> classes;
+    std::vector<std::size_t> components;  // all covered components
+};
+
+struct CompPlan {
+    std::size_t ru = SIZE_MAX;     // repair unit index (SIZE_MAX = unrepairable)
+    std::size_t cls = SIZE_MAX;    // class within the RU (queue RUs only)
+    std::size_t phase = SIZE_MAX;  // service phase
+    double frate = 0.0;
+    double rrate = 0.0;
+};
+
+/// A lumped group: exchangeable components (same RU, class, phase, rates).
+struct Group {
+    std::size_t ru = SIZE_MAX;
+    std::size_t cls = SIZE_MAX;
+    std::size_t phase = SIZE_MAX;
+    std::size_t size = 0;
+    double frate = 0.0;
+    double rrate = 0.0;
+    double failed_cost_rate = 3.0;
+    std::vector<std::size_t> members;
+};
+
+struct Plan {
+    std::vector<RuPlan> rus;
+    std::vector<CompPlan> comps;
+    std::vector<Group> groups;                       // lumped encoding
+    std::vector<std::vector<std::size_t>> ru_groups; // groups per RU, class-major order
+};
+
+double policy_key(const RepairUnit& ru, const BasicComponent& c, int priority) {
+    switch (ru.policy) {
+        case RepairPolicy::FastestRepairFirst: return -c.repair_rate();
+        case RepairPolicy::FastestFailureFirst: return -c.failure_rate();
+        case RepairPolicy::Priority: return static_cast<double>(priority);
+        default: return 0.0;  // FCFS: single class
+    }
+}
+
+Plan make_plan(const ArcadeModel& model) {
+    Plan plan;
+    plan.comps.resize(model.components.size());
+
+    for (std::size_t p = 0; p < model.phases.size(); ++p) {
+        for (std::size_t idx : model.phases[p].components) {
+            plan.comps[idx].phase = p;
+        }
+    }
+    for (std::size_t c = 0; c < model.components.size(); ++c) {
+        plan.comps[c].frate = model.components[c].failure_rate();
+        plan.comps[c].rrate = model.components[c].repair_rate();
+    }
+
+    for (std::size_t r = 0; r < model.repair_units.size(); ++r) {
+        const RepairUnit& ru = model.repair_units[r];
+        RuPlan rp;
+        rp.crews = ru.crews;
+        rp.preemptive = ru.preemptive;
+        rp.idle_cost_rate = ru.idle_cost_rate;
+        rp.components = ru.components;
+        std::sort(rp.components.begin(), rp.components.end());
+        switch (ru.policy) {
+            case RepairPolicy::None: rp.kind = RuKind::None; break;
+            case RepairPolicy::Dedicated: rp.kind = RuKind::Dedicated; break;
+            default: rp.kind = RuKind::Queue; break;
+        }
+        if (rp.kind == RuKind::Queue) {
+            // group components by policy key; classes sorted best-first
+            std::vector<std::pair<double, std::size_t>> keyed;
+            for (std::size_t i = 0; i < ru.components.size(); ++i) {
+                const std::size_t c = ru.components[i];
+                const int prio =
+                    ru.policy == RepairPolicy::Priority ? ru.priorities[i] : 0;
+                keyed.emplace_back(policy_key(ru, model.components[c], prio), c);
+            }
+            std::sort(keyed.begin(), keyed.end());
+            double prev_key = 0.0;
+            for (std::size_t i = 0; i < keyed.size(); ++i) {
+                if (i == 0 || keyed[i].first != prev_key) {
+                    rp.classes.push_back({keyed[i].second});
+                } else {
+                    rp.classes.back().push_back(keyed[i].second);
+                }
+                prev_key = keyed[i].first;
+            }
+            // keep members in component-index order within each class
+            for (auto& cls : rp.classes) std::sort(cls.begin(), cls.end());
+            for (std::size_t k = 0; k < rp.classes.size(); ++k) {
+                for (std::size_t c : rp.classes[k]) {
+                    plan.comps[c].ru = r;
+                    plan.comps[c].cls = k;
+                }
+            }
+        } else {
+            for (std::size_t c : ru.components) {
+                plan.comps[c].ru = r;
+                plan.comps[c].cls = 0;
+            }
+        }
+        plan.rus.push_back(std::move(rp));
+    }
+
+    // Lumped groups: components sharing (ru, cls, phase, rates, cost).
+    for (std::size_t c = 0; c < model.components.size(); ++c) {
+        const CompPlan& cp = plan.comps[c];
+        bool placed = false;
+        for (auto& g : plan.groups) {
+            if (g.ru == cp.ru && g.cls == cp.cls && g.phase == cp.phase &&
+                g.frate == cp.frate && g.rrate == cp.rrate &&
+                g.failed_cost_rate == model.components[c].failed_cost_rate) {
+                g.members.push_back(c);
+                ++g.size;
+                placed = true;
+                break;
+            }
+        }
+        if (!placed) {
+            Group g;
+            g.ru = cp.ru;
+            g.cls = cp.cls;
+            g.phase = cp.phase;
+            g.size = 1;
+            g.frate = cp.frate;
+            g.rrate = cp.rrate;
+            g.failed_cost_rate = model.components[c].failed_cost_rate;
+            g.members.push_back(c);
+            plan.groups.push_back(std::move(g));
+        }
+    }
+    plan.ru_groups.resize(plan.rus.size());
+    for (std::size_t r = 0; r < plan.rus.size(); ++r) {
+        // class-major (priority) order
+        for (std::size_t k = 0; k < std::max<std::size_t>(plan.rus[r].classes.size(), 1); ++k) {
+            for (std::size_t g = 0; g < plan.groups.size(); ++g) {
+                if (plan.groups[g].ru == r &&
+                    (plan.rus[r].kind != RuKind::Queue || plan.groups[g].cls == k)) {
+                    plan.ru_groups[r].push_back(g);
+                }
+            }
+            if (plan.rus[r].kind != RuKind::Queue) break;
+        }
+    }
+    return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Individual encoding.
+// Layout: [status_0 .. status_{C-1}, rank_0 .. rank_{C-1}]
+//   status: 0 = up, 1 = down-waiting (or plain down), 2 = down-in-repair.
+//   rank: 1-based FIFO position among waiting components of the same class.
+// ---------------------------------------------------------------------------
+
+constexpr std::int16_t kUp = 0;
+constexpr std::int16_t kWaiting = 1;
+constexpr std::int16_t kInRepair = 2;
+
+class IndividualEncoder {
+public:
+    IndividualEncoder(const ArcadeModel& model, const Plan& plan)
+        : model_(model), plan_(plan), n_(model.components.size()) {}
+
+    [[nodiscard]] State initial() const { return State(2 * n_, 0); }
+
+    [[nodiscard]] std::int16_t status(const State& s, std::size_t c) const { return s[c]; }
+    [[nodiscard]] std::int16_t rank(const State& s, std::size_t c) const { return s[n_ + c]; }
+
+    /// The tracked in-repair component of a queue RU, or SIZE_MAX.
+    [[nodiscard]] std::size_t tracked(const State& s, std::size_t ru) const {
+        for (std::size_t c : plan_.rus[ru].components) {
+            if (s[c] == kInRepair) return c;
+        }
+        return SIZE_MAX;
+    }
+
+    [[nodiscard]] std::size_t waiting_in_class(const State& s, std::size_t ru,
+                                               std::size_t cls) const {
+        std::size_t n = 0;
+        for (std::size_t c : plan_.rus[ru].classes[cls]) {
+            if (s[c] == kWaiting) ++n;
+        }
+        return n;
+    }
+
+    /// Waiting components served by derived crews, best-first, up to `k`.
+    [[nodiscard]] std::vector<std::size_t> top_waiting(const State& s, std::size_t ru,
+                                                       std::size_t k) const {
+        std::vector<std::size_t> out;
+        if (k == 0) return out;
+        for (const auto& cls : plan_.rus[ru].classes) {
+            // members sorted by rank
+            std::vector<std::pair<std::int16_t, std::size_t>> waiting;
+            for (std::size_t c : cls) {
+                if (s[c] == kWaiting) waiting.emplace_back(rank(s, c), c);
+            }
+            std::sort(waiting.begin(), waiting.end());
+            for (const auto& [rk, c] : waiting) {
+                out.push_back(c);
+                if (out.size() == k) return out;
+            }
+        }
+        return out;
+    }
+
+    /// Removes `c` from its class queue: ranks above it shift down.
+    void remove_from_queue(State& s, std::size_t c) const {
+        const std::size_t ru = plan_.comps[c].ru;
+        const std::size_t cls = plan_.comps[c].cls;
+        const std::int16_t r = s[n_ + c];
+        for (std::size_t m : plan_.rus[ru].classes[cls]) {
+            if (s[m] == kWaiting && s[n_ + m] > r) --s[n_ + m];
+        }
+        s[n_ + c] = 0;
+    }
+
+    void append_to_queue(State& s, std::size_t c) const {
+        const std::size_t ru = plan_.comps[c].ru;
+        const std::size_t cls = plan_.comps[c].cls;
+        s[c] = kWaiting;
+        s[n_ + c] =
+            static_cast<std::int16_t>(waiting_in_class(s, ru, cls));  // includes itself now
+    }
+
+    template <typename Emit>
+    void successors(const State& s, Emit&& emit) const {
+        // failures
+        for (std::size_t c = 0; c < n_; ++c) {
+            if (s[c] != kUp) continue;
+            State t = s;
+            const std::size_t ru = plan_.comps[c].ru;
+            if (ru == SIZE_MAX || plan_.rus[ru].kind == RuKind::None) {
+                t[c] = kWaiting;
+            } else if (plan_.rus[ru].kind == RuKind::Dedicated) {
+                t[c] = kInRepair;
+            } else if (plan_.rus[ru].preemptive) {
+                append_to_queue(t, c);
+            } else {
+                if (tracked(s, ru) == SIZE_MAX) {
+                    t[c] = kInRepair;
+                } else {
+                    append_to_queue(t, c);
+                }
+            }
+            emit(std::move(t), plan_.comps[c].frate);
+        }
+        // repairs
+        for (std::size_t r = 0; r < plan_.rus.size(); ++r) {
+            const RuPlan& ru = plan_.rus[r];
+            if (ru.kind == RuKind::None) continue;
+            if (ru.kind == RuKind::Dedicated) {
+                for (std::size_t c : ru.components) {
+                    if (s[c] != kInRepair) continue;
+                    State t = s;
+                    t[c] = kUp;
+                    emit(std::move(t), plan_.comps[c].rrate);
+                }
+                continue;
+            }
+            if (ru.preemptive) {
+                for (std::size_t c : top_waiting(s, r, ru.crews)) {
+                    State t = s;
+                    remove_from_queue(t, c);
+                    t[c] = kUp;
+                    emit(std::move(t), plan_.comps[c].rrate);
+                }
+                continue;
+            }
+            const std::size_t tr = tracked(s, r);
+            if (tr == SIZE_MAX) continue;
+            {
+                // crew 1 completes the tracked repair; the best waiting
+                // component (if any) is promoted into the tracked slot.
+                State t = s;
+                t[tr] = kUp;
+                const auto next = top_waiting(s, r, 1);
+                if (!next.empty()) {
+                    const std::size_t w = next.front();
+                    remove_from_queue(t, w);
+                    t[w] = kInRepair;
+                }
+                emit(std::move(t), plan_.comps[tr].rrate);
+            }
+            // derived crews 2..k complete policy-best waiting repairs
+            for (std::size_t c : top_waiting(s, r, ru.crews - 1)) {
+                State t = s;
+                remove_from_queue(t, c);
+                t[c] = kUp;
+                emit(std::move(t), plan_.comps[c].rrate);
+            }
+        }
+    }
+
+    [[nodiscard]] double service(const State& s) const {
+        std::vector<std::size_t> up(model_.phases.size(), 0);
+        for (std::size_t c = 0; c < n_; ++c) {
+            if (s[c] == kUp) ++up[plan_.comps[c].phase];
+        }
+        return phase_service_level(model_, up);
+    }
+
+    [[nodiscard]] double cost_rate(const State& s) const {
+        double cost = 0.0;
+        for (std::size_t c = 0; c < n_; ++c) {
+            if (s[c] != kUp) cost += model_.components[c].failed_cost_rate;
+        }
+        for (std::size_t r = 0; r < plan_.rus.size(); ++r) {
+            const RuPlan& ru = plan_.rus[r];
+            if (ru.kind == RuKind::None) continue;
+            std::size_t down = 0;
+            for (std::size_t c : ru.components) {
+                if (s[c] != kUp) ++down;
+            }
+            const std::size_t crews =
+                ru.kind == RuKind::Dedicated ? ru.components.size() : ru.crews;
+            const std::size_t busy = std::min(crews, down);
+            cost += static_cast<double>(crews - busy) * ru.idle_cost_rate;
+        }
+        return cost;
+    }
+
+    /// Canonical post-disaster state (see CompiledModel::disaster_state).
+    [[nodiscard]] State disaster(const Disaster& d) const {
+        ARCADE_ASSERT(d.failed_per_phase.size() == model_.phases.size(),
+                      "disaster phase arity mismatch");
+        State s = initial();
+        std::vector<std::size_t> failed;
+        for (std::size_t p = 0; p < model_.phases.size(); ++p) {
+            const auto& phase = model_.phases[p];
+            if (d.failed_per_phase[p] > phase.components.size()) {
+                throw ModelError("disaster '" + d.name + "' fails more components than phase '" +
+                                 phase.name + "' has");
+            }
+            for (std::size_t i = 0; i < d.failed_per_phase[p]; ++i) {
+                failed.push_back(phase.components[i]);
+            }
+        }
+        std::sort(failed.begin(), failed.end());
+        // First pass: everything waiting in index order.
+        for (std::size_t c : failed) {
+            const std::size_t ru = plan_.comps[c].ru;
+            if (ru == SIZE_MAX || plan_.rus[ru].kind == RuKind::None) {
+                s[c] = kWaiting;
+            } else if (plan_.rus[ru].kind == RuKind::Dedicated) {
+                s[c] = kInRepair;
+            } else {
+                append_to_queue(s, c);
+            }
+        }
+        // Second pass: promote the policy-best waiting member of every
+        // non-preemptive queue RU into the tracked slot.
+        for (std::size_t r = 0; r < plan_.rus.size(); ++r) {
+            if (plan_.rus[r].kind != RuKind::Queue || plan_.rus[r].preemptive) continue;
+            const auto best = top_waiting(s, r, 1);
+            if (!best.empty()) {
+                remove_from_queue(s, best.front());
+                s[best.front()] = kInRepair;
+            }
+        }
+        return s;
+    }
+
+private:
+    const ArcadeModel& model_;
+    const Plan& plan_;
+    std::size_t n_;
+};
+
+// ---------------------------------------------------------------------------
+// Lumped encoding.
+// Layout: [wait_0 .. wait_{G-1}, tracked_0 .. tracked_{R-1}]
+//   wait_g: waiting (or plain down) members of group g.
+//   tracked_r: 1 + group index of the tracked in-repair component of RU r,
+//              0 when idle (only non-preemptive queue RUs use this).
+// ---------------------------------------------------------------------------
+
+class LumpedEncoder {
+public:
+    LumpedEncoder(const ArcadeModel& model, const Plan& plan)
+        : model_(model), plan_(plan), g_(plan.groups.size()), r_(plan.rus.size()) {
+        // Lumping soundness: within a queue RU class, FCFS tie-breaking
+        // between *different* groups is not representable.
+        for (std::size_t r = 0; r < plan_.rus.size(); ++r) {
+            if (plan_.rus[r].kind != RuKind::Queue) continue;
+            for (std::size_t k = 0; k < plan_.rus[r].classes.size(); ++k) {
+                std::size_t groups_in_class = 0;
+                for (const auto& g : plan_.groups) {
+                    if (g.ru == r && g.cls == k) ++groups_in_class;
+                }
+                if (groups_in_class > 1) {
+                    throw ModelError(
+                        "lumped encoding: repair class with equal rates spans "
+                        "non-exchangeable components; use the individual encoding");
+                }
+            }
+        }
+    }
+
+    [[nodiscard]] State initial() const { return State(g_ + r_, 0); }
+
+    [[nodiscard]] std::int16_t wait(const State& s, std::size_t g) const { return s[g]; }
+    [[nodiscard]] std::size_t tracked_group(const State& s, std::size_t r) const {
+        return s[g_ + r] == 0 ? SIZE_MAX : static_cast<std::size_t>(s[g_ + r] - 1);
+    }
+
+    [[nodiscard]] std::size_t down_of_group(const State& s, std::size_t g) const {
+        std::size_t down = static_cast<std::size_t>(s[g]);
+        const std::size_t r = plan_.groups[g].ru;
+        if (r != SIZE_MAX && plan_.rus[r].kind == RuKind::Queue && !plan_.rus[r].preemptive &&
+            tracked_group(s, r) == g) {
+            ++down;
+        }
+        return down;
+    }
+
+    /// Served waiting members per group for derived crews, up to k total.
+    [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> served_waiting(
+        const State& s, std::size_t r, std::size_t k) const {
+        std::vector<std::pair<std::size_t, std::size_t>> out;  // (group, count)
+        if (k == 0) return out;
+        std::size_t left = k;
+        for (std::size_t g : plan_.ru_groups[r]) {
+            const std::size_t w = static_cast<std::size_t>(s[g]);
+            if (w == 0) continue;
+            const std::size_t take = std::min(left, w);
+            out.emplace_back(g, take);
+            left -= take;
+            if (left == 0) break;
+        }
+        return out;
+    }
+
+    template <typename Emit>
+    void successors(const State& s, Emit&& emit) const {
+        // failures
+        for (std::size_t g = 0; g < g_; ++g) {
+            const Group& group = plan_.groups[g];
+            const std::size_t down = down_of_group(s, g);
+            const std::size_t up = group.size - down;
+            if (up == 0) continue;
+            const double rate = static_cast<double>(up) * group.frate;
+            State t = s;
+            const std::size_t r = group.ru;
+            if (r != SIZE_MAX && plan_.rus[r].kind == RuKind::Queue &&
+                !plan_.rus[r].preemptive && tracked_group(s, r) == SIZE_MAX) {
+                t[g_ + r] = static_cast<std::int16_t>(g + 1);
+            } else {
+                ++t[g];
+            }
+            emit(std::move(t), rate);
+        }
+        // repairs
+        for (std::size_t r = 0; r < r_; ++r) {
+            const RuPlan& ru = plan_.rus[r];
+            if (ru.kind == RuKind::None) continue;
+            if (ru.kind == RuKind::Dedicated) {
+                for (std::size_t g : plan_.ru_groups[r]) {
+                    const std::size_t down = static_cast<std::size_t>(s[g]);
+                    if (down == 0) continue;
+                    State t = s;
+                    --t[g];
+                    emit(std::move(t), static_cast<double>(down) * plan_.groups[g].rrate);
+                }
+                continue;
+            }
+            if (ru.preemptive) {
+                for (const auto& [g, count] : served_waiting(s, r, ru.crews)) {
+                    State t = s;
+                    --t[g];
+                    emit(std::move(t), static_cast<double>(count) * plan_.groups[g].rrate);
+                }
+                continue;
+            }
+            const std::size_t tg = tracked_group(s, r);
+            if (tg == SIZE_MAX) continue;
+            {
+                // crew 1 completes; promote the best waiting group
+                State t = s;
+                const auto next = served_waiting(s, r, 1);
+                if (next.empty()) {
+                    t[g_ + r] = 0;
+                } else {
+                    t[g_ + r] = static_cast<std::int16_t>(next.front().first + 1);
+                    --t[next.front().first];
+                }
+                emit(std::move(t), plan_.groups[tg].rrate);
+            }
+            for (const auto& [g, count] : served_waiting(s, r, ru.crews - 1)) {
+                State t = s;
+                --t[g];
+                emit(std::move(t), static_cast<double>(count) * plan_.groups[g].rrate);
+            }
+        }
+    }
+
+    [[nodiscard]] double service(const State& s) const {
+        std::vector<std::size_t> up(model_.phases.size(), 0);
+        for (std::size_t p = 0; p < model_.phases.size(); ++p) {
+            up[p] = model_.phases[p].components.size();
+        }
+        for (std::size_t g = 0; g < g_; ++g) {
+            up[plan_.groups[g].phase] -= down_of_group(s, g);
+        }
+        return phase_service_level(model_, up);
+    }
+
+    [[nodiscard]] double cost_rate(const State& s) const {
+        double cost = 0.0;
+        for (std::size_t g = 0; g < g_; ++g) {
+            cost += static_cast<double>(down_of_group(s, g)) * plan_.groups[g].failed_cost_rate;
+        }
+        for (std::size_t r = 0; r < r_; ++r) {
+            const RuPlan& ru = plan_.rus[r];
+            if (ru.kind == RuKind::None) continue;
+            std::size_t down = 0;
+            for (std::size_t g : plan_.ru_groups[r]) down += down_of_group(s, g);
+            const std::size_t crews =
+                ru.kind == RuKind::Dedicated ? ru.components.size() : ru.crews;
+            cost += static_cast<double>(crews - std::min(crews, down)) * ru.idle_cost_rate;
+        }
+        return cost;
+    }
+
+    [[nodiscard]] State disaster(const Disaster& d) const {
+        ARCADE_ASSERT(d.failed_per_phase.size() == model_.phases.size(),
+                      "disaster phase arity mismatch");
+        State s = initial();
+        for (std::size_t p = 0; p < model_.phases.size(); ++p) {
+            std::size_t remaining = d.failed_per_phase[p];
+            if (remaining > model_.phases[p].components.size()) {
+                throw ModelError("disaster '" + d.name + "' fails more components than phase '" +
+                                 model_.phases[p].name + "' has");
+            }
+            for (std::size_t g = 0; g < g_ && remaining > 0; ++g) {
+                if (plan_.groups[g].phase != p) continue;
+                const std::size_t take = std::min(remaining, plan_.groups[g].size);
+                s[g] = static_cast<std::int16_t>(take);
+                remaining -= take;
+            }
+            ARCADE_ASSERT(remaining == 0, "disaster allocation failed");
+        }
+        // promote tracked slots
+        for (std::size_t r = 0; r < r_; ++r) {
+            if (plan_.rus[r].kind != RuKind::Queue || plan_.rus[r].preemptive) continue;
+            const auto next = served_waiting(s, r, 1);
+            if (!next.empty()) {
+                s[g_ + r] = static_cast<std::int16_t>(next.front().first + 1);
+                --s[next.front().first];
+            }
+        }
+        return s;
+    }
+
+private:
+    const ArcadeModel& model_;
+    const Plan& plan_;
+    std::size_t g_;
+    std::size_t r_;
+};
+
+template <typename Encoder>
+CompiledModel run_compile(const ArcadeModel& model, const Plan& plan, Encoder encoder,
+                          Encoding encoding, const CompileOptions& options) {
+    CompiledModel::StateIndexMap index;
+    std::vector<const State*> states;
+    struct Transition {
+        std::size_t source;
+        std::size_t target;
+        double rate;
+    };
+    std::vector<Transition> transitions;
+
+    {
+        const auto [it, inserted] = index.emplace(encoder.initial(), 0);
+        states.push_back(&it->first);
+    }
+
+    for (std::size_t si = 0; si < states.size(); ++si) {
+        if (states.size() > options.max_states) {
+            throw ModelError("state-space explosion beyond " +
+                             std::to_string(options.max_states) + " states");
+        }
+        const State current = *states[si];
+        encoder.successors(current, [&](State&& target, double rate) {
+            ARCADE_ASSERT(rate > 0.0, "non-positive rate emitted");
+            const auto [it, inserted] = index.emplace(std::move(target), states.size());
+            if (inserted) states.push_back(&it->first);
+            transitions.push_back(Transition{si, it->second, rate});
+        });
+    }
+
+    linalg::CsrBuilder builder(states.size(), states.size());
+    for (const auto& t : transitions) {
+        if (t.source != t.target) builder.add(t.source, t.target, t.rate);
+    }
+    std::vector<double> init(states.size(), 0.0);
+    init[0] = 1.0;
+    ctmc::Ctmc chain(builder.build(), std::move(init));
+
+    std::vector<double> service(states.size());
+    std::vector<double> cost(states.size());
+    for (std::size_t s = 0; s < states.size(); ++s) {
+        service[s] = encoder.service(*states[s]);
+        cost[s] = encoder.cost_rate(*states[s]);
+    }
+
+    chain.set_label("operational", [&] {
+        std::vector<bool> bits(states.size());
+        for (std::size_t s = 0; s < states.size(); ++s) bits[s] = service[s] >= 1.0 - 1e-9;
+        return bits;
+    }());
+    chain.set_label("down", [&] {
+        std::vector<bool> bits(states.size());
+        for (std::size_t s = 0; s < states.size(); ++s) bits[s] = service[s] < 1.0 - 1e-9;
+        return bits;
+    }());
+    chain.set_label("total_failure", [&] {
+        std::vector<bool> bits(states.size());
+        for (std::size_t s = 0; s < states.size(); ++s) bits[s] = service[s] <= 1e-9;
+        return bits;
+    }());
+
+    return CompiledModel(std::move(chain), std::move(service),
+                         rewards::RewardStructure("cost", std::move(cost)), model,
+                         std::move(index), encoding);
+}
+
+}  // namespace
+
+CompiledModel::CompiledModel(ctmc::Ctmc chain, std::vector<double> service,
+                             rewards::RewardStructure cost, ArcadeModel model,
+                             StateIndexMap state_index, Encoding encoding)
+    : chain_(std::move(chain)),
+      service_(std::move(service)),
+      cost_(std::move(cost)),
+      model_(std::move(model)),
+      state_index_(std::move(state_index)),
+      encoding_(encoding) {
+    states_.resize(state_index_.size());
+    for (const auto& [state, idx] : state_index_) {
+        states_[idx] = &state;
+    }
+}
+
+std::vector<bool> CompiledModel::service_at_least(double x) const {
+    std::vector<bool> bits(service_.size());
+    for (std::size_t s = 0; s < service_.size(); ++s) bits[s] = service_[s] >= x - 1e-9;
+    return bits;
+}
+
+std::vector<bool> CompiledModel::operational_states() const { return service_at_least(1.0); }
+
+std::vector<bool> CompiledModel::total_failure_states() const {
+    std::vector<bool> bits(service_.size());
+    for (std::size_t s = 0; s < service_.size(); ++s) bits[s] = service_[s] <= 1e-9;
+    return bits;
+}
+
+std::size_t CompiledModel::lookup(const std::vector<std::int16_t>& encoded) const {
+    const auto it = state_index_.find(encoded);
+    if (it == state_index_.end()) {
+        throw ModelError("encoded state is not reachable in the compiled model");
+    }
+    return it->second;
+}
+
+std::size_t CompiledModel::disaster_state(const Disaster& disaster) const {
+    const Plan plan = make_plan(model_);
+    if (encoding_ == Encoding::Individual) {
+        IndividualEncoder enc(model_, plan);
+        return lookup(enc.disaster(disaster));
+    }
+    LumpedEncoder enc(model_, plan);
+    return lookup(enc.disaster(disaster));
+}
+
+std::vector<double> CompiledModel::disaster_distribution(const Disaster& disaster) const {
+    return ctmc::Ctmc::point_distribution(state_count(), disaster_state(disaster));
+}
+
+const std::vector<std::int16_t>& CompiledModel::encoded_state(std::size_t index) const {
+    ARCADE_ASSERT(index < states_.size(), "state index out of range");
+    return *states_[index];
+}
+
+CompiledModel compile(const ArcadeModel& model, const CompileOptions& options) {
+    model.validate();
+    const Plan plan = make_plan(model);
+    if (options.encoding == Encoding::Individual) {
+        return run_compile(model, plan, IndividualEncoder(model, plan), options.encoding,
+                           options);
+    }
+    return run_compile(model, plan, LumpedEncoder(model, plan), options.encoding, options);
+}
+
+ArcadeModel without_repair(const ArcadeModel& model) {
+    ArcadeModel copy = model;
+    for (auto& ru : copy.repair_units) {
+        ru.policy = RepairPolicy::None;
+    }
+    return copy;
+}
+
+}  // namespace arcade::core

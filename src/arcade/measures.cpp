@@ -1,0 +1,76 @@
+#include "arcade/measures.hpp"
+
+#include "arcade/fault_tree.hpp"
+#include "ctmc/bounded_until.hpp"
+#include "ctmc/steady_state.hpp"
+#include "rewards/rewards.hpp"
+#include "support/errors.hpp"
+
+namespace arcade::core {
+
+double availability(const CompiledModel& model) {
+    return ctmc::steady_state_probability(model.chain(), model.operational_states());
+}
+
+double combined_availability(double line1, double line2) {
+    return line1 + line2 - line1 * line2;
+}
+
+std::vector<double> reliability_series(const CompiledModel& model,
+                                       std::span<const double> times) {
+    for (const auto& ru : model.model().repair_units) {
+        if (ru.policy != RepairPolicy::None) {
+            throw ModelError(
+                "reliability must be computed on a repair-free model; "
+                "compile without_repair(model) first");
+        }
+    }
+    const std::vector<bool> phi(model.state_count(), true);
+    const std::vector<bool> down = model.chain().label("down");
+    const auto initial = model.chain().initial_distribution();
+    const auto p_down =
+        ctmc::bounded_until_series(model.chain(), initial, phi, down, times);
+    std::vector<double> reliability(p_down.size());
+    for (std::size_t i = 0; i < p_down.size(); ++i) reliability[i] = 1.0 - p_down[i];
+    return reliability;
+}
+
+std::vector<double> survivability_series(const CompiledModel& model, const Disaster& disaster,
+                                         double service_level, std::span<const double> times) {
+    const std::vector<bool> phi(model.state_count(), true);
+    const std::vector<bool> target = model.service_at_least(service_level);
+    const auto initial = model.disaster_distribution(disaster);
+    return ctmc::bounded_until_series(model.chain(), initial, phi, target, times);
+}
+
+double survivability(const CompiledModel& model, const Disaster& disaster,
+                     double service_level, double time) {
+    const std::vector<double> times{0.0, time};
+    return survivability_series(model, disaster, service_level, times).back();
+}
+
+std::vector<double> instantaneous_cost_series(const CompiledModel& model,
+                                              const Disaster& disaster,
+                                              std::span<const double> times) {
+    const auto initial = model.disaster_distribution(disaster);
+    return rewards::instantaneous_reward_series(model.chain(), initial, model.cost_reward(),
+                                                times);
+}
+
+std::vector<double> accumulated_cost_series(const CompiledModel& model,
+                                            const Disaster& disaster,
+                                            std::span<const double> times) {
+    const auto initial = model.disaster_distribution(disaster);
+    return rewards::accumulated_reward_series(model.chain(), initial, model.cost_reward(),
+                                              times);
+}
+
+double steady_state_cost(const CompiledModel& model) {
+    return rewards::steady_state_reward(model.chain(), model.cost_reward());
+}
+
+std::vector<double> service_levels(const ArcadeModel& model) {
+    return phase_service_levels(model);
+}
+
+}  // namespace arcade::core

@@ -1,0 +1,347 @@
+#include "arcade/modules_compiler.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/errors.hpp"
+
+namespace arcade::core {
+
+namespace {
+
+using expr::BinaryOp;
+using expr::Expr;
+using expr::UnaryOp;
+
+/// Component variable names.  Status: 0 up, 1 waiting, 2 in repair.
+std::string status_var(const BasicComponent& c) { return "s_" + c.name; }
+std::string rank_var(const BasicComponent& c) { return "q_" + c.name; }
+
+Expr num(long long v) { return Expr::integer(v); }
+Expr var(const std::string& name) { return Expr::identifier(name); }
+Expr eq(Expr a, Expr b) { return Expr::binary(BinaryOp::Eq, std::move(a), std::move(b)); }
+Expr land(Expr a, Expr b) { return Expr::binary(BinaryOp::And, std::move(a), std::move(b)); }
+Expr land_all(std::vector<Expr> xs) {
+    ARCADE_ASSERT(!xs.empty(), "empty conjunction");
+    Expr acc = xs.front();
+    for (std::size_t i = 1; i < xs.size(); ++i) acc = land(std::move(acc), xs[i]);
+    return acc;
+}
+Expr add(Expr a, Expr b) { return Expr::binary(BinaryOp::Add, std::move(a), std::move(b)); }
+
+/// sum over comps of (s_c = status ? 1 : 0)
+Expr count_with_status(const ArcadeModel& model, const std::vector<std::size_t>& comps,
+                       long long status) {
+    Expr acc = num(0);
+    for (std::size_t c : comps) {
+        acc = add(std::move(acc),
+                  Expr::ite(eq(var(status_var(model.components[c])), num(status)), num(1),
+                            num(0)));
+    }
+    return acc;
+}
+
+Expr count_down(const ArcadeModel& model, const std::vector<std::size_t>& comps) {
+    Expr acc = num(0);
+    for (std::size_t c : comps) {
+        acc = add(std::move(acc),
+                  Expr::ite(Expr::binary(BinaryOp::Gt, var(status_var(model.components[c])),
+                                         num(0)),
+                            num(1), num(0)));
+    }
+    return acc;
+}
+
+/// Priority-ordered classes of a queue repair unit (see compiler.cpp).
+std::vector<std::vector<std::size_t>> policy_classes(const ArcadeModel& model,
+                                                     const RepairUnit& ru) {
+    std::vector<std::pair<double, std::size_t>> keyed;
+    for (std::size_t i = 0; i < ru.components.size(); ++i) {
+        const std::size_t c = ru.components[i];
+        double key = 0.0;
+        switch (ru.policy) {
+            case RepairPolicy::FastestRepairFirst:
+                key = -model.components[c].repair_rate();
+                break;
+            case RepairPolicy::FastestFailureFirst:
+                key = -model.components[c].failure_rate();
+                break;
+            case RepairPolicy::Priority: key = ru.priorities[i]; break;
+            default: key = 0.0; break;
+        }
+        keyed.emplace_back(key, c);
+    }
+    std::sort(keyed.begin(), keyed.end());
+    std::vector<std::vector<std::size_t>> classes;
+    double prev = 0.0;
+    for (std::size_t i = 0; i < keyed.size(); ++i) {
+        if (i == 0 || keyed[i].first != prev) {
+            classes.push_back({keyed[i].second});
+        } else {
+            classes.back().push_back(keyed[i].second);
+        }
+        prev = keyed[i].first;
+    }
+    for (auto& cls : classes) std::sort(cls.begin(), cls.end());
+    return classes;
+}
+
+/// Guard: no component of classes[0..k-1] is waiting, and `w` (in class k)
+/// is the FIFO head of class k.
+Expr head_of_best_class(const ArcadeModel& model,
+                        const std::vector<std::vector<std::size_t>>& classes, std::size_t k,
+                        std::size_t w) {
+    std::vector<Expr> terms;
+    terms.push_back(eq(var(status_var(model.components[w])), num(1)));
+    terms.push_back(eq(var(rank_var(model.components[w])), num(1)));
+    for (std::size_t kk = 0; kk < k; ++kk) {
+        for (std::size_t m : classes[kk]) {
+            terms.push_back(Expr::unary(
+                UnaryOp::Not, eq(var(status_var(model.components[m])), num(1))));
+        }
+    }
+    return land_all(std::move(terms));
+}
+
+/// Assignments that remove the head `w` from its class queue.
+std::vector<modules::Assignment> dequeue_head(const ArcadeModel& model,
+                                              const std::vector<std::size_t>& cls,
+                                              std::size_t w, long long new_status) {
+    std::vector<modules::Assignment> out;
+    out.push_back({status_var(model.components[w]), num(new_status)});
+    out.push_back({rank_var(model.components[w]), num(0)});
+    for (std::size_t m : cls) {
+        if (m == w) continue;
+        // waiting members behind the head shift forward
+        out.push_back({rank_var(model.components[m]),
+                       Expr::ite(land(eq(var(status_var(model.components[m])), num(1)),
+                                      Expr::binary(BinaryOp::Gt,
+                                                   var(rank_var(model.components[m])), num(1))),
+                                 Expr::binary(BinaryOp::Sub,
+                                              var(rank_var(model.components[m])), num(1)),
+                                 var(rank_var(model.components[m])))});
+    }
+    return out;
+}
+
+}  // namespace
+
+modules::ModuleSystem to_reactive_modules(const ArcadeModel& model) {
+    model.validate();
+    modules::ModuleSystem system;
+    system.name = model.name;
+
+    std::vector<bool> covered(model.components.size(), false);
+
+    for (const auto& ru : model.repair_units) {
+        if (ru.preemptive) {
+            throw ModelError(
+                "preemptive repair units have no reactive-modules translation; "
+                "use the native compiler");
+        }
+        if (ru.policy != RepairPolicy::Dedicated && ru.policy != RepairPolicy::None &&
+            ru.crews > 2) {
+            throw ModelError(
+                "the reactive-modules translation supports at most two crews per "
+                "queueing repair unit (the paper's range); use the native compiler");
+        }
+
+        modules::Module module;
+        module.name = ru.name;
+        const bool queue =
+            ru.policy != RepairPolicy::Dedicated && ru.policy != RepairPolicy::None;
+
+        // Variables.
+        for (std::size_t c : ru.components) {
+            covered[c] = true;
+            const auto& comp = model.components[c];
+            modules::VarDecl status;
+            status.name = status_var(comp);
+            status.low = 0;
+            status.high = ru.policy == RepairPolicy::None ? 1 : 2;
+            module.variables.push_back(status);
+        }
+        std::vector<std::vector<std::size_t>> classes;
+        if (queue) {
+            classes = policy_classes(model, ru);
+            for (const auto& cls : classes) {
+                for (std::size_t c : cls) {
+                    modules::VarDecl rank;
+                    rank.name = rank_var(model.components[c]);
+                    rank.low = 0;
+                    rank.high = static_cast<long long>(cls.size());
+                    module.variables.push_back(rank);
+                }
+            }
+        }
+
+        // Commands.
+        if (ru.policy == RepairPolicy::None) {
+            for (std::size_t c : ru.components) {
+                const auto& comp = model.components[c];
+                modules::Command fail;
+                fail.guard = eq(var(status_var(comp)), num(0));
+                fail.alternatives.push_back(
+                    {Expr::real(comp.failure_rate()), {{status_var(comp), num(1)}}});
+                module.commands.push_back(std::move(fail));
+            }
+        } else if (ru.policy == RepairPolicy::Dedicated) {
+            for (std::size_t c : ru.components) {
+                const auto& comp = model.components[c];
+                modules::Command fail;
+                fail.guard = eq(var(status_var(comp)), num(0));
+                fail.alternatives.push_back(
+                    {Expr::real(comp.failure_rate()), {{status_var(comp), num(2)}}});
+                module.commands.push_back(std::move(fail));
+                modules::Command repair;
+                repair.guard = eq(var(status_var(comp)), num(2));
+                repair.alternatives.push_back(
+                    {Expr::real(comp.repair_rate()), {{status_var(comp), num(0)}}});
+                module.commands.push_back(std::move(repair));
+            }
+        } else {
+            const Expr idle = eq(count_with_status(model, ru.components, 2), num(0));
+            const Expr busy = Expr::unary(UnaryOp::Not, idle);
+            const Expr none_waiting = eq(count_with_status(model, ru.components, 1), num(0));
+
+            // Failures.
+            for (std::size_t k = 0; k < classes.size(); ++k) {
+                for (std::size_t c : classes[k]) {
+                    const auto& comp = model.components[c];
+                    // crew idle: straight into repair
+                    modules::Command direct;
+                    direct.guard = land(eq(var(status_var(comp)), num(0)), idle);
+                    direct.alternatives.push_back(
+                        {Expr::real(comp.failure_rate()), {{status_var(comp), num(2)}}});
+                    module.commands.push_back(std::move(direct));
+                    // crew busy: append to the class FIFO
+                    std::vector<std::size_t> others;
+                    for (std::size_t m : classes[k]) {
+                        if (m != c) others.push_back(m);
+                    }
+                    modules::Command queue_up;
+                    queue_up.guard = land(eq(var(status_var(comp)), num(0)), busy);
+                    queue_up.alternatives.push_back(
+                        {Expr::real(comp.failure_rate()),
+                         {{status_var(comp), num(1)},
+                          {rank_var(comp),
+                           add(num(1), count_with_status(model, others, 1))}}});
+                    module.commands.push_back(std::move(queue_up));
+                }
+            }
+
+            // Tracked-repair completion.
+            for (std::size_t t : ru.components) {
+                const auto& tcomp = model.components[t];
+                // nothing waiting: crew goes idle
+                modules::Command done;
+                done.guard = land(eq(var(status_var(tcomp)), num(2)), none_waiting);
+                done.alternatives.push_back(
+                    {Expr::real(tcomp.repair_rate()), {{status_var(tcomp), num(0)}}});
+                module.commands.push_back(std::move(done));
+                // promote the head of the best waiting class
+                for (std::size_t k = 0; k < classes.size(); ++k) {
+                    for (std::size_t w : classes[k]) {
+                        if (w == t) continue;
+                        modules::Command promote;
+                        promote.guard = land(eq(var(status_var(tcomp)), num(2)),
+                                             head_of_best_class(model, classes, k, w));
+                        auto assignments = dequeue_head(model, classes[k], w, 2);
+                        assignments.push_back({status_var(tcomp), num(0)});
+                        promote.alternatives.push_back(
+                            {Expr::real(tcomp.repair_rate()), std::move(assignments)});
+                        module.commands.push_back(std::move(promote));
+                    }
+                }
+            }
+
+            // Second crew: serves the head of the best waiting class.
+            if (ru.crews >= 2) {
+                for (std::size_t k = 0; k < classes.size(); ++k) {
+                    for (std::size_t w : classes[k]) {
+                        const auto& wcomp = model.components[w];
+                        modules::Command crew2;
+                        crew2.guard = head_of_best_class(model, classes, k, w);
+                        crew2.alternatives.push_back({Expr::real(wcomp.repair_rate()),
+                                                      dequeue_head(model, classes[k], w, 0)});
+                        module.commands.push_back(std::move(crew2));
+                    }
+                }
+            }
+        }
+        system.modules.push_back(std::move(module));
+    }
+
+    // Unrepairable components not covered by any repair unit.
+    for (std::size_t c = 0; c < model.components.size(); ++c) {
+        if (covered[c]) continue;
+        const auto& comp = model.components[c];
+        modules::Module module;
+        module.name = "component_" + comp.name;
+        modules::VarDecl status;
+        status.name = status_var(comp);
+        status.low = 0;
+        status.high = 1;
+        module.variables.push_back(status);
+        modules::Command fail;
+        fail.guard = eq(var(status_var(comp)), num(0));
+        fail.alternatives.push_back(
+            {Expr::real(comp.failure_rate()), {{status_var(comp), num(1)}}});
+        module.commands.push_back(std::move(fail));
+        system.modules.push_back(std::move(module));
+    }
+
+    // Labels from the service phases.
+    {
+        std::vector<Expr> operational_terms;
+        std::vector<Expr> some_service_terms;
+        for (const auto& phase : model.phases) {
+            const Expr up = count_with_status(model, phase.components, 0);
+            operational_terms.push_back(Expr::binary(
+                BinaryOp::Ge, up, num(static_cast<long long>(phase.required))));
+            some_service_terms.push_back(Expr::binary(BinaryOp::Ge, up, num(1)));
+        }
+        const Expr operational = land_all(std::move(operational_terms));
+        const Expr some_service = land_all(std::move(some_service_terms));
+        system.labels.emplace("operational", operational);
+        system.labels.emplace("down", Expr::unary(UnaryOp::Not, operational));
+        system.labels.emplace("total_failure", Expr::unary(UnaryOp::Not, some_service));
+    }
+
+    // Cost rewards: failed components + idle crews.
+    {
+        modules::RewardDecl cost;
+        cost.name = "cost";
+        for (const auto& comp : model.components) {
+            modules::RewardItem item;
+            item.guard = Expr::binary(BinaryOp::Gt, var(status_var(comp)), num(0));
+            item.rate = Expr::real(comp.failed_cost_rate);
+            cost.items.push_back(std::move(item));
+        }
+        for (const auto& ru : model.repair_units) {
+            if (ru.policy == RepairPolicy::None) continue;
+            if (ru.policy == RepairPolicy::Dedicated) {
+                for (std::size_t c : ru.components) {
+                    modules::RewardItem item;
+                    item.guard = eq(var(status_var(model.components[c])), num(0));
+                    item.rate = Expr::real(ru.idle_cost_rate);
+                    cost.items.push_back(std::move(item));
+                }
+            } else {
+                for (std::size_t j = 0; j < ru.crews; ++j) {
+                    modules::RewardItem item;
+                    item.guard = eq(count_down(model, ru.components),
+                                    num(static_cast<long long>(j)));
+                    item.rate = Expr::real(static_cast<double>(ru.crews - j) *
+                                           ru.idle_cost_rate);
+                    cost.items.push_back(std::move(item));
+                }
+            }
+        }
+        system.rewards.push_back(std::move(cost));
+    }
+
+    return system;
+}
+
+}  // namespace arcade::core

@@ -1,0 +1,32 @@
+// Translation of Arcade models into stochastic reactive modules — the
+// pipeline of the paper's Fig. 1 (Arcade-XML -> PRISM reactive modules).
+//
+// Every basic component becomes a module with a status variable
+// (0 up, 1 waiting, 2 in repair) and a queue rank; repair units become
+// synchronisation-free guarded commands implementing the scheduling
+// policies.  The generated system explores to a CTMC that is isomorphic to
+// the native compiler's (asserted by tests), and can be exported as PRISM
+// source via prism::write_prism for cross-validation with the real PRISM.
+//
+// This path exists for fidelity and interoperability; the native compiler
+// (compiler.hpp) is the fast path the benchmarks use.
+#ifndef ARCADE_ARCADE_MODULES_COMPILER_HPP
+#define ARCADE_ARCADE_MODULES_COMPILER_HPP
+
+#include "arcade/types.hpp"
+#include "modules/modules.hpp"
+
+namespace arcade::core {
+
+/// Builds the reactive-modules translation of `model` (individual encoding,
+/// non-preemptive tracked-slot semantics — the paper's encoding).
+/// Labels installed: "operational", "down", "total_failure".
+/// Reward structure installed: "cost".
+///
+/// Restrictions (throws ModelError): preemptive repair units are not
+/// representable in this translation; use the native compiler for those.
+[[nodiscard]] modules::ModuleSystem to_reactive_modules(const ArcadeModel& model);
+
+}  // namespace arcade::core
+
+#endif  // ARCADE_ARCADE_MODULES_COMPILER_HPP

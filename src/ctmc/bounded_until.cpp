@@ -1,0 +1,100 @@
+#include "ctmc/bounded_until.hpp"
+
+#include <algorithm>
+
+#include "numeric/fox_glynn.hpp"
+#include "support/errors.hpp"
+
+namespace arcade::ctmc {
+
+namespace {
+
+/// Builds the transformed chain for Phi U<=t Psi: states in Psi or in
+/// neither Phi nor Psi become absorbing.
+Ctmc until_transform(const Ctmc& chain, const std::vector<bool>& phi,
+                     const std::vector<bool>& psi) {
+    const std::size_t n = chain.state_count();
+    ARCADE_ASSERT(phi.size() == n && psi.size() == n, "mask size mismatch");
+    std::vector<bool> absorbing(n, false);
+    for (std::size_t s = 0; s < n; ++s) {
+        absorbing[s] = psi[s] || (!phi[s] && !psi[s]);
+    }
+    return chain.make_absorbing(absorbing);
+}
+
+double mass_in(const std::vector<double>& dist, const std::vector<bool>& set) {
+    double p = 0.0;
+    for (std::size_t s = 0; s < dist.size(); ++s) {
+        if (set[s]) p += dist[s];
+    }
+    return p;
+}
+
+}  // namespace
+
+double bounded_until_probability(const Ctmc& chain, std::span<const double> initial,
+                                 const std::vector<bool>& phi, const std::vector<bool>& psi,
+                                 double t, const TransientOptions& options) {
+    const Ctmc transformed = until_transform(chain, phi, psi);
+    const auto dist = transient_distribution(transformed, initial, t, options);
+    return mass_in(dist, psi);
+}
+
+std::vector<double> bounded_until_series(const Ctmc& chain, std::span<const double> initial,
+                                         const std::vector<bool>& phi,
+                                         const std::vector<bool>& psi,
+                                         std::span<const double> times,
+                                         const TransientOptions& options) {
+    const Ctmc transformed = until_transform(chain, phi, psi);
+    TransientEvolver evolver(transformed, initial, options);
+    std::vector<double> out;
+    out.reserve(times.size());
+    for (double t : times) {
+        evolver.advance_to(t);
+        out.push_back(mass_in(evolver.distribution(), psi));
+    }
+    return out;
+}
+
+std::vector<double> bounded_until_all_states(const Ctmc& chain, const std::vector<bool>& phi,
+                                             const std::vector<bool>& psi, double t,
+                                             const TransientOptions& options) {
+    const Ctmc transformed = until_transform(chain, phi, psi);
+    const std::size_t n = chain.state_count();
+
+    // Backward recurrence: v(t) = sum_k pois_k(q t) * P^k * 1_psi.
+    const double lambda = std::max(transformed.max_exit_rate(), 1e-12) * 1.02;
+    const auto weights = numeric::fox_glynn(lambda * t, options.epsilon);
+
+    std::vector<double> cur(n, 0.0);
+    for (std::size_t s = 0; s < n; ++s) cur[s] = psi[s] ? 1.0 : 0.0;
+    std::vector<double> acc(n, 0.0);
+    std::vector<double> next(n, 0.0);
+
+    const auto& rates = transformed.rates();
+    for (std::size_t k = 0;; ++k) {
+        const double w = weights.weight(k);
+        if (w != 0.0) {
+            for (std::size_t i = 0; i < n; ++i) acc[i] += w * cur[i];
+        }
+        if (k == weights.right) break;
+        // next = P * cur  (column-vector form of the uniformised matrix)
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto cols = rates.row_columns(i);
+            const auto vals = rates.row_values(i);
+            double moved = 0.0;
+            double sum = 0.0;
+            for (std::size_t j = 0; j < cols.size(); ++j) {
+                if (cols[j] == i) continue;
+                const double p = vals[j] / lambda;
+                sum += p * cur[cols[j]];
+                moved += p;
+            }
+            next[i] = sum + (1.0 - moved) * cur[i];
+        }
+        std::swap(cur, next);
+    }
+    return acc;
+}
+
+}  // namespace arcade::ctmc

@@ -1,0 +1,46 @@
+// Time-bounded until for CTMCs — the workhorse behind the paper's
+// reliability (P[true U<=t down]) and survivability (P[true U<=t service])
+// measures.
+//
+// P[Phi U<=t Psi] is computed on a transformed chain where Psi-states and
+// (!Phi && !Psi)-states are made absorbing; the answer is the transient
+// probability mass in Psi at time t (Baier et al., "Model-Checking
+// Algorithms for Continuous-Time Markov Chains", IEEE TSE 2003).
+#ifndef ARCADE_CTMC_BOUNDED_UNTIL_HPP
+#define ARCADE_CTMC_BOUNDED_UNTIL_HPP
+
+#include <span>
+#include <vector>
+
+#include "ctmc/ctmc.hpp"
+#include "ctmc/transient.hpp"
+
+namespace arcade::ctmc {
+
+/// P[Phi U<=t Psi] for every state as initial state... is expensive;
+/// this API computes it for one initial distribution, which is what the
+/// paper's measures need (GOOD models fix the disaster state).
+[[nodiscard]] double bounded_until_probability(const Ctmc& chain,
+                                               std::span<const double> initial,
+                                               const std::vector<bool>& phi,
+                                               const std::vector<bool>& psi, double t,
+                                               const TransientOptions& options = {});
+
+/// The same probability evaluated on an ascending time grid, sharing the
+/// transformed chain and stepping the transient distribution.
+[[nodiscard]] std::vector<double> bounded_until_series(const Ctmc& chain,
+                                                       std::span<const double> initial,
+                                                       const std::vector<bool>& phi,
+                                                       const std::vector<bool>& psi,
+                                                       std::span<const double> times,
+                                                       const TransientOptions& options = {});
+
+/// Per-state vector of P[Phi U<=t Psi] (computed via the backward
+/// (column-vector) recurrence, one uniformisation pass for all states).
+[[nodiscard]] std::vector<double> bounded_until_all_states(
+    const Ctmc& chain, const std::vector<bool>& phi, const std::vector<bool>& psi, double t,
+    const TransientOptions& options = {});
+
+}  // namespace arcade::ctmc
+
+#endif  // ARCADE_CTMC_BOUNDED_UNTIL_HPP

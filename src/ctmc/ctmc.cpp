@@ -1,0 +1,98 @@
+#include "ctmc/ctmc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/errors.hpp"
+
+namespace arcade::ctmc {
+
+Ctmc::Ctmc(linalg::CsrMatrix rates, std::vector<double> initial_distribution)
+    : rates_(std::move(rates)), initial_(std::move(initial_distribution)) {
+    if (rates_.rows() != rates_.cols()) throw InvalidArgument("rate matrix must be square");
+    if (initial_.size() != rates_.rows()) {
+        throw InvalidArgument("initial distribution size mismatch");
+    }
+    double mass = 0.0;
+    for (double p : initial_) {
+        if (p < -1e-12) throw InvalidArgument("negative initial probability");
+        mass += p;
+    }
+    if (std::abs(mass - 1.0) >= 1e-9) {
+        throw InvalidArgument("initial distribution must sum to 1");
+    }
+    for (double v : rates_.values()) {
+        if (v < 0.0) throw InvalidArgument("negative transition rate");
+    }
+}
+
+double Ctmc::exit_rate(std::size_t state) const {
+    const auto cols = rates_.row_columns(state);
+    const auto vals = rates_.row_values(state);
+    double r = 0.0;
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+        if (cols[k] != state) r += vals[k];
+    }
+    return r;
+}
+
+double Ctmc::max_exit_rate() const {
+    double m = 0.0;
+    for (std::size_t s = 0; s < state_count(); ++s) m = std::max(m, exit_rate(s));
+    return m;
+}
+
+void Ctmc::set_label(const std::string& name, std::vector<bool> states) {
+    ARCADE_ASSERT(states.size() == state_count(), "label size mismatch for '" + name + "'");
+    labels_[name] = std::move(states);
+}
+
+bool Ctmc::has_label(const std::string& name) const { return labels_.count(name) > 0; }
+
+const std::vector<bool>& Ctmc::label(const std::string& name) const {
+    const auto it = labels_.find(name);
+    if (it == labels_.end()) throw ModelError("unknown label '" + name + "'");
+    return it->second;
+}
+
+std::vector<std::string> Ctmc::label_names() const {
+    std::vector<std::string> names;
+    names.reserve(labels_.size());
+    for (const auto& [k, v] : labels_) names.push_back(k);
+    return names;
+}
+
+std::vector<double> Ctmc::point_distribution(std::size_t n, std::size_t state) {
+    ARCADE_ASSERT(state < n, "point distribution state out of range");
+    std::vector<double> d(n, 0.0);
+    d[state] = 1.0;
+    return d;
+}
+
+Ctmc Ctmc::make_absorbing(const std::vector<bool>& absorbing) const {
+    ARCADE_ASSERT(absorbing.size() == state_count(), "absorbing mask size mismatch");
+    linalg::CsrBuilder b(state_count(), state_count());
+    for (std::size_t s = 0; s < state_count(); ++s) {
+        if (absorbing[s]) continue;
+        const auto cols = rates_.row_columns(s);
+        const auto vals = rates_.row_values(s);
+        for (std::size_t k = 0; k < cols.size(); ++k) {
+            b.add(s, cols[k], vals[k]);
+        }
+    }
+    Ctmc out(b.build(), initial_);
+    out.labels_ = labels_;
+    return out;
+}
+
+void Ctmc::set_initial_distribution(std::vector<double> initial) {
+    ARCADE_ASSERT(initial.size() == state_count(), "initial distribution size mismatch");
+    double mass = 0.0;
+    for (double p : initial) mass += p;
+    if (std::abs(mass - 1.0) > 1e-9) {
+        throw InvalidArgument("initial distribution must sum to 1");
+    }
+    initial_ = std::move(initial);
+}
+
+}  // namespace arcade::ctmc

@@ -1,0 +1,65 @@
+// Continuous-time Markov chain with atomic-proposition labelling.
+//
+// This is the analysis substrate the paper obtains from PRISM: an explicit
+// sparse rate matrix over an explored state space, plus named state sets
+// (labels) used by the CSL/CSRL layer and the Arcade measures.
+#ifndef ARCADE_CTMC_CTMC_HPP
+#define ARCADE_CTMC_CTMC_HPP
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "linalg/csr_matrix.hpp"
+
+namespace arcade::ctmc {
+
+/// Immutable CTMC: rate matrix R (off-diagonal, R[i][j] = rate i -> j),
+/// an initial distribution, and named boolean labellings.
+class Ctmc {
+public:
+    Ctmc(linalg::CsrMatrix rates, std::vector<double> initial_distribution);
+
+    [[nodiscard]] std::size_t state_count() const noexcept { return rates_.rows(); }
+    [[nodiscard]] std::size_t transition_count() const noexcept { return rates_.nonzeros(); }
+
+    [[nodiscard]] const linalg::CsrMatrix& rates() const noexcept { return rates_; }
+    [[nodiscard]] const std::vector<double>& initial_distribution() const noexcept {
+        return initial_;
+    }
+
+    /// Total exit rate of `state`.
+    [[nodiscard]] double exit_rate(std::size_t state) const;
+    /// Largest exit rate over all states (uniformisation constant basis).
+    [[nodiscard]] double max_exit_rate() const;
+
+    /// Registers a named state set.  Replaces an existing label of that name.
+    void set_label(const std::string& name, std::vector<bool> states);
+    [[nodiscard]] bool has_label(const std::string& name) const;
+    [[nodiscard]] const std::vector<bool>& label(const std::string& name) const;
+    [[nodiscard]] std::vector<std::string> label_names() const;
+
+    /// Point distribution helper.
+    [[nodiscard]] static std::vector<double> point_distribution(std::size_t n,
+                                                                std::size_t state);
+
+    /// Returns a copy where every state in `absorbing` has its outgoing
+    /// transitions removed.  Labels and initial distribution are preserved.
+    [[nodiscard]] Ctmc make_absorbing(const std::vector<bool>& absorbing) const;
+
+    /// Replaces the initial distribution (must have matching size; normalised
+    /// by the caller or it throws).
+    void set_initial_distribution(std::vector<double> initial);
+
+private:
+    linalg::CsrMatrix rates_;
+    std::vector<double> initial_;
+    std::map<std::string, std::vector<bool>> labels_;
+};
+
+}  // namespace arcade::ctmc
+
+#endif  // ARCADE_CTMC_CTMC_HPP

@@ -1,0 +1,42 @@
+// Long-run (steady-state) analysis of CTMCs.
+//
+// Handles the general (reducible) case via BSCC decomposition:
+//   pi(s) = sum_B P(reach B from initial) * pi_B(s)
+// where pi_B is the conditional steady-state distribution inside BSCC B and
+// the reachability probabilities are solved on the embedded DTMC.
+#ifndef ARCADE_CTMC_STEADY_STATE_HPP
+#define ARCADE_CTMC_STEADY_STATE_HPP
+
+#include <vector>
+
+#include "ctmc/ctmc.hpp"
+#include "numeric/linear_solvers.hpp"
+
+namespace arcade::ctmc {
+
+struct SteadyStateOptions {
+    numeric::SolverOptions solver;
+};
+
+/// Steady-state distribution weighted by the chain's initial distribution.
+/// Works for irreducible and reducible chains (absorbing states form
+/// singleton BSCCs).
+[[nodiscard]] std::vector<double> steady_state(const Ctmc& chain,
+                                               const SteadyStateOptions& options = {});
+
+/// Steady-state probability of the given state set (long-run availability
+/// when `states` labels the operational states).
+[[nodiscard]] double steady_state_probability(const Ctmc& chain,
+                                              const std::vector<bool>& states,
+                                              const SteadyStateOptions& options = {});
+
+/// Probability of eventually reaching `targets` from each state while
+/// remaining inside `allowed` (unbounded until on the embedded DTMC).
+/// States outside `allowed` that are not targets have probability 0.
+[[nodiscard]] std::vector<double> reachability_probability(
+    const Ctmc& chain, const std::vector<bool>& allowed, const std::vector<bool>& targets,
+    const numeric::SolverOptions& options = {});
+
+}  // namespace arcade::ctmc
+
+#endif  // ARCADE_CTMC_STEADY_STATE_HPP

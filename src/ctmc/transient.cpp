@@ -1,0 +1,103 @@
+#include "ctmc/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numeric/fox_glynn.hpp"
+#include "support/errors.hpp"
+
+namespace arcade::ctmc {
+
+namespace {
+
+/// One application of the uniformised DTMC:  out = in * P  where
+/// P = I + Q/lambda (Q = R with diagonal -exit_rate).
+void uniformised_step(const Ctmc& chain, double lambda, std::span<const double> in,
+                      std::span<double> out) {
+    const auto& rates = chain.rates();
+    const std::size_t n = rates.rows();
+    std::fill(out.begin(), out.end(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double p = in[i];
+        if (p == 0.0) continue;
+        const auto cols = rates.row_columns(i);
+        const auto vals = rates.row_values(i);
+        double moved = 0.0;
+        for (std::size_t k = 0; k < cols.size(); ++k) {
+            if (cols[k] == i) continue;
+            const double q = vals[k] / lambda;
+            out[cols[k]] += p * q;
+            moved += q;
+        }
+        out[i] += p * (1.0 - moved);
+    }
+}
+
+}  // namespace
+
+TransientEvolver::TransientEvolver(const Ctmc& chain, std::span<const double> initial,
+                                   TransientOptions options)
+    : chain_(chain),
+      options_(options),
+      lambda_(std::max(chain.max_exit_rate(), 1e-12) * 1.02),
+      dist_(initial.begin(), initial.end()),
+      scratch_a_(chain.state_count(), 0.0),
+      scratch_b_(chain.state_count(), 0.0) {
+    ARCADE_ASSERT(initial.size() == chain.state_count(), "initial size mismatch");
+}
+
+void TransientEvolver::step(double dt) {
+    if (dt <= 0.0) return;
+    const double q = lambda_ * dt;
+    const auto weights = numeric::fox_glynn(q, options_.epsilon);
+
+    // result = sum_k w_k * dist * P^k
+    std::vector<double>& acc = scratch_a_;
+    std::vector<double>& cur = scratch_b_;
+    std::fill(acc.begin(), acc.end(), 0.0);
+    cur = dist_;
+
+    // k = 0 .. right
+    for (std::size_t k = 0;; ++k) {
+        const double w = weights.weight(k);
+        if (w != 0.0) {
+            for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += w * cur[i];
+        }
+        if (k == weights.right) break;
+        // cur = cur * P; reuse dist_ as the step target then swap.
+        uniformised_step(chain_, lambda_, cur, dist_);
+        std::swap(cur, dist_);
+    }
+    dist_ = acc;
+}
+
+void TransientEvolver::advance_to(double t) {
+    ARCADE_ASSERT(t >= time_ - 1e-12, "advance_to: time must be non-decreasing");
+    const double dt = t - time_;
+    if (dt > 0.0) step(dt);
+    time_ = t;
+}
+
+std::vector<double> transient_distribution(const Ctmc& chain, std::span<const double> initial,
+                                           double t, const TransientOptions& options) {
+    ARCADE_ASSERT(t >= 0.0, "negative time");
+    TransientEvolver evolver(chain, initial, options);
+    evolver.advance_to(t);
+    return evolver.distribution();
+}
+
+std::vector<std::vector<double>> transient_series(const Ctmc& chain,
+                                                  std::span<const double> initial,
+                                                  std::span<const double> times,
+                                                  const TransientOptions& options) {
+    TransientEvolver evolver(chain, initial, options);
+    std::vector<std::vector<double>> out;
+    out.reserve(times.size());
+    for (double t : times) {
+        evolver.advance_to(t);
+        out.push_back(evolver.distribution());
+    }
+    return out;
+}
+
+}  // namespace arcade::ctmc

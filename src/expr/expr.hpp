@@ -1,0 +1,141 @@
+// Typed expression language for stochastic reactive modules.
+//
+// Supports int, double and bool values; arithmetic, comparison, boolean
+// operators, ite(c,a,b), min/max/floor/ceil/pow, and named variables or
+// constants resolved through an Environment.  This is the expression subset
+// of the PRISM language that the Arcade translation needs.
+#ifndef ARCADE_EXPR_EXPR_HPP
+#define ARCADE_EXPR_EXPR_HPP
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace arcade::expr {
+
+/// Runtime value.  Ints stay ints until mixed with doubles.
+class Value {
+public:
+    Value() : data_(false) {}
+    explicit Value(bool b) : data_(b) {}
+    explicit Value(long long i) : data_(i) {}
+    explicit Value(int i) : data_(static_cast<long long>(i)) {}
+    explicit Value(double d) : data_(d) {}
+
+    [[nodiscard]] bool is_bool() const noexcept { return std::holds_alternative<bool>(data_); }
+    [[nodiscard]] bool is_int() const noexcept {
+        return std::holds_alternative<long long>(data_);
+    }
+    [[nodiscard]] bool is_double() const noexcept {
+        return std::holds_alternative<double>(data_);
+    }
+    [[nodiscard]] bool is_numeric() const noexcept { return is_int() || is_double(); }
+
+    [[nodiscard]] bool as_bool() const;
+    [[nodiscard]] long long as_int() const;
+    [[nodiscard]] double as_double() const;  ///< widens ints
+
+    [[nodiscard]] std::string to_string() const;
+
+    friend bool operator==(const Value& a, const Value& b);
+
+private:
+    std::variant<bool, long long, double> data_;
+};
+
+/// Variable/constant lookup interface for evaluation.
+class Environment {
+public:
+    virtual ~Environment() = default;
+    /// Throws arcade::ModelError for unknown names.
+    [[nodiscard]] virtual Value lookup(const std::string& name) const = 0;
+};
+
+enum class BinaryOp {
+    Add, Sub, Mul, Div,
+    Eq, Ne, Lt, Le, Gt, Ge,
+    And, Or, Implies, Iff,
+    Min, Max, Pow,
+};
+
+enum class UnaryOp { Neg, Not, Floor, Ceil };
+
+struct Literal;
+struct Identifier;
+struct Unary;
+struct Binary;
+struct Ite;
+
+/// Wrapper around the node variant so Expr can hold it by forward
+/// declaration (the node types contain Expr recursively).
+struct Node;
+
+/// Shared-ownership expression handle.  Expressions are immutable after
+/// construction, so sharing subtrees is safe and cheap.
+class Expr {
+public:
+    Expr() = default;
+    explicit Expr(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+
+    [[nodiscard]] bool empty() const noexcept { return node_ == nullptr; }
+    /// The underlying variant; use std::get_if on it.
+    [[nodiscard]] const std::variant<Literal, Identifier, Unary, Binary, Ite>& node() const;
+
+    /// Evaluates under `env`.  Type errors throw arcade::ModelError.
+    [[nodiscard]] Value evaluate(const Environment& env) const;
+
+    /// Pretty-prints with minimal parentheses (round-trips via parse_expression).
+    [[nodiscard]] std::string to_string() const;
+
+    /// Names of all identifiers appearing in the expression.
+    [[nodiscard]] std::vector<std::string> free_variables() const;
+
+    // Construction helpers.
+    static Expr literal(Value v);
+    static Expr boolean(bool b);
+    static Expr integer(long long i);
+    static Expr real(double d);
+    static Expr identifier(std::string name);
+    static Expr unary(UnaryOp op, Expr operand);
+    static Expr binary(BinaryOp op, Expr lhs, Expr rhs);
+    static Expr ite(Expr cond, Expr then_branch, Expr else_branch);
+
+private:
+    std::shared_ptr<const Node> node_;
+};
+
+struct Literal {
+    Value value;
+};
+struct Identifier {
+    std::string name;
+};
+struct Unary {
+    UnaryOp op;
+    Expr operand;
+};
+struct Binary {
+    BinaryOp op;
+    Expr lhs;
+    Expr rhs;
+};
+struct Ite {
+    Expr cond;
+    Expr then_branch;
+    Expr else_branch;
+};
+
+struct Node {
+    std::variant<Literal, Identifier, Unary, Binary, Ite> v;
+};
+
+/// Parses the PRISM-style expression syntax:
+///   literals: 3, 2.5, true, false
+///   operators: ? :, <=>, =>, |, &, !, = !=, < <= > >=, + -, * /, unary -
+///   calls: min(a,b,...), max(a,b,...), floor(x), ceil(x), pow(x,y)
+[[nodiscard]] Expr parse_expression(const std::string& text);
+
+}  // namespace arcade::expr
+
+#endif  // ARCADE_EXPR_EXPR_HPP

@@ -1,0 +1,342 @@
+// Pratt parser for the PRISM-style expression syntax (see expr.hpp).
+#include <cctype>
+#include <optional>
+
+#include "expr/expr.hpp"
+#include "support/errors.hpp"
+
+namespace arcade::expr {
+
+namespace {
+
+enum class TokenKind {
+    Number, Identifier, True, False,
+    Plus, Minus, Star, Slash,
+    Eq, Ne, Lt, Le, Gt, Ge,
+    And, Or, Not, Implies, Iff,
+    LParen, RParen, Comma, Question, Colon,
+    End,
+};
+
+struct Token {
+    TokenKind kind;
+    std::string text;
+    std::size_t pos = 0;
+};
+
+class Lexer {
+public:
+    explicit Lexer(const std::string& text) : text_(text) {}
+
+    Token next() {
+        skip_space();
+        const std::size_t pos = i_;
+        if (i_ >= text_.size()) return {TokenKind::End, "", pos};
+        const char c = text_[i_];
+        if (std::isdigit(static_cast<unsigned char>(c)) != 0 || c == '.') return number(pos);
+        if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') return word(pos);
+        ++i_;
+        switch (c) {
+            case '+': return {TokenKind::Plus, "+", pos};
+            case '-': return {TokenKind::Minus, "-", pos};
+            case '*': return {TokenKind::Star, "*", pos};
+            case '/': return {TokenKind::Slash, "/", pos};
+            case '(': return {TokenKind::LParen, "(", pos};
+            case ')': return {TokenKind::RParen, ")", pos};
+            case ',': return {TokenKind::Comma, ",", pos};
+            case '?': return {TokenKind::Question, "?", pos};
+            case ':': return {TokenKind::Colon, ":", pos};
+            case '&': return {TokenKind::And, "&", pos};
+            case '|': return {TokenKind::Or, "|", pos};
+            case '=': {
+                if (peek('>')) {
+                    ++i_;
+                    return {TokenKind::Implies, "=>", pos};
+                }
+                if (peek('=')) ++i_;  // accept both = and ==
+                return {TokenKind::Eq, "=", pos};
+            }
+            case '!':
+                if (peek('=')) {
+                    ++i_;
+                    return {TokenKind::Ne, "!=", pos};
+                }
+                return {TokenKind::Not, "!", pos};
+            case '<':
+                if (peek('=')) {
+                    ++i_;
+                    if (peek('>')) {
+                        ++i_;
+                        return {TokenKind::Iff, "<=>", pos};
+                    }
+                    return {TokenKind::Le, "<=", pos};
+                }
+                return {TokenKind::Lt, "<", pos};
+            case '>':
+                if (peek('=')) {
+                    ++i_;
+                    return {TokenKind::Ge, ">=", pos};
+                }
+                return {TokenKind::Gt, ">", pos};
+            default:
+                throw ParseError(std::string("unexpected character '") + c + "' in expression",
+                                 1, pos + 1);
+        }
+    }
+
+private:
+    const std::string& text_;
+    std::size_t i_ = 0;
+
+    void skip_space() {
+        while (i_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[i_])) != 0) ++i_;
+    }
+    [[nodiscard]] bool peek(char c) const { return i_ < text_.size() && text_[i_] == c; }
+
+    Token number(std::size_t pos) {
+        std::size_t j = i_;
+        bool has_dot = false;
+        bool has_exp = false;
+        while (j < text_.size()) {
+            const char c = text_[j];
+            if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+                ++j;
+            } else if (c == '.' && !has_dot && !has_exp) {
+                has_dot = true;
+                ++j;
+            } else if ((c == 'e' || c == 'E') && !has_exp && j > i_) {
+                has_exp = true;
+                ++j;
+                if (j < text_.size() && (text_[j] == '+' || text_[j] == '-')) ++j;
+            } else {
+                break;
+            }
+        }
+        Token t{TokenKind::Number, text_.substr(i_, j - i_), pos};
+        i_ = j;
+        return t;
+    }
+
+    Token word(std::size_t pos) {
+        std::size_t j = i_;
+        while (j < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[j])) != 0 || text_[j] == '_')) {
+            ++j;
+        }
+        std::string w = text_.substr(i_, j - i_);
+        i_ = j;
+        if (w == "true") return {TokenKind::True, w, pos};
+        if (w == "false") return {TokenKind::False, w, pos};
+        return {TokenKind::Identifier, w, pos};
+    }
+};
+
+class Parser {
+public:
+    explicit Parser(const std::string& text) : lexer_(text) { advance(); }
+
+    Expr parse() {
+        Expr e = parse_ternary();
+        expect(TokenKind::End, "end of expression");
+        return e;
+    }
+
+private:
+    Lexer lexer_;
+    Token current_;
+
+    void advance() { current_ = lexer_.next(); }
+
+    void expect(TokenKind kind, const std::string& what) {
+        if (current_.kind != kind) {
+            throw ParseError("expected " + what + " but found '" + current_.text + "'", 1,
+                             current_.pos + 1);
+        }
+        advance();
+    }
+
+    Expr parse_ternary() {
+        Expr cond = parse_iff();
+        if (current_.kind == TokenKind::Question) {
+            advance();
+            Expr a = parse_ternary();
+            expect(TokenKind::Colon, "':'");
+            Expr b = parse_ternary();
+            return Expr::ite(std::move(cond), std::move(a), std::move(b));
+        }
+        return cond;
+    }
+
+    Expr parse_iff() {
+        Expr lhs = parse_implies();
+        while (current_.kind == TokenKind::Iff) {
+            advance();
+            lhs = Expr::binary(BinaryOp::Iff, std::move(lhs), parse_implies());
+        }
+        return lhs;
+    }
+
+    Expr parse_implies() {
+        Expr lhs = parse_or();
+        if (current_.kind == TokenKind::Implies) {  // right-associative
+            advance();
+            return Expr::binary(BinaryOp::Implies, std::move(lhs), parse_implies());
+        }
+        return lhs;
+    }
+
+    Expr parse_or() {
+        Expr lhs = parse_and();
+        while (current_.kind == TokenKind::Or) {
+            advance();
+            lhs = Expr::binary(BinaryOp::Or, std::move(lhs), parse_and());
+        }
+        return lhs;
+    }
+
+    Expr parse_and() {
+        Expr lhs = parse_not();
+        while (current_.kind == TokenKind::And) {
+            advance();
+            lhs = Expr::binary(BinaryOp::And, std::move(lhs), parse_not());
+        }
+        return lhs;
+    }
+
+    Expr parse_not() {
+        if (current_.kind == TokenKind::Not) {
+            advance();
+            return Expr::unary(UnaryOp::Not, parse_not());
+        }
+        return parse_comparison();
+    }
+
+    Expr parse_comparison() {
+        Expr lhs = parse_additive();
+        const auto op = [&]() -> std::optional<BinaryOp> {
+            switch (current_.kind) {
+                case TokenKind::Eq: return BinaryOp::Eq;
+                case TokenKind::Ne: return BinaryOp::Ne;
+                case TokenKind::Lt: return BinaryOp::Lt;
+                case TokenKind::Le: return BinaryOp::Le;
+                case TokenKind::Gt: return BinaryOp::Gt;
+                case TokenKind::Ge: return BinaryOp::Ge;
+                default: return std::nullopt;
+            }
+        }();
+        if (op) {
+            advance();
+            return Expr::binary(*op, std::move(lhs), parse_additive());
+        }
+        return lhs;
+    }
+
+    Expr parse_additive() {
+        Expr lhs = parse_multiplicative();
+        while (current_.kind == TokenKind::Plus || current_.kind == TokenKind::Minus) {
+            const BinaryOp op =
+                current_.kind == TokenKind::Plus ? BinaryOp::Add : BinaryOp::Sub;
+            advance();
+            lhs = Expr::binary(op, std::move(lhs), parse_multiplicative());
+        }
+        return lhs;
+    }
+
+    Expr parse_multiplicative() {
+        Expr lhs = parse_unary();
+        while (current_.kind == TokenKind::Star || current_.kind == TokenKind::Slash) {
+            const BinaryOp op =
+                current_.kind == TokenKind::Star ? BinaryOp::Mul : BinaryOp::Div;
+            advance();
+            lhs = Expr::binary(op, std::move(lhs), parse_unary());
+        }
+        return lhs;
+    }
+
+    Expr parse_unary() {
+        if (current_.kind == TokenKind::Minus) {
+            advance();
+            return Expr::unary(UnaryOp::Neg, parse_unary());
+        }
+        return parse_primary();
+    }
+
+    Expr parse_primary() {
+        switch (current_.kind) {
+            case TokenKind::Number: {
+                const std::string text = current_.text;
+                advance();
+                if (text.find('.') == std::string::npos && text.find('e') == std::string::npos &&
+                    text.find('E') == std::string::npos) {
+                    return Expr::integer(std::stoll(text));
+                }
+                return Expr::real(std::stod(text));
+            }
+            case TokenKind::True:
+                advance();
+                return Expr::boolean(true);
+            case TokenKind::False:
+                advance();
+                return Expr::boolean(false);
+            case TokenKind::Identifier: {
+                const std::string name = current_.text;
+                advance();
+                if (current_.kind == TokenKind::LParen) return parse_call(name);
+                return Expr::identifier(name);
+            }
+            case TokenKind::LParen: {
+                advance();
+                Expr e = parse_ternary();
+                expect(TokenKind::RParen, "')'");
+                return e;
+            }
+            default:
+                throw ParseError("unexpected token '" + current_.text + "'", 1,
+                                 current_.pos + 1);
+        }
+    }
+
+    Expr parse_call(const std::string& name) {
+        expect(TokenKind::LParen, "'('");
+        std::vector<Expr> args;
+        if (current_.kind != TokenKind::RParen) {
+            args.push_back(parse_ternary());
+            while (current_.kind == TokenKind::Comma) {
+                advance();
+                args.push_back(parse_ternary());
+            }
+        }
+        expect(TokenKind::RParen, "')'");
+
+        auto fold = [&](BinaryOp op) {
+            if (args.size() < 2) {
+                throw ParseError(name + "() needs at least two arguments");
+            }
+            Expr acc = args[0];
+            for (std::size_t i = 1; i < args.size(); ++i) {
+                acc = Expr::binary(op, std::move(acc), args[i]);
+            }
+            return acc;
+        };
+        auto unary1 = [&](UnaryOp op) {
+            if (args.size() != 1) throw ParseError(name + "() needs exactly one argument");
+            return Expr::unary(op, args[0]);
+        };
+
+        if (name == "min") return fold(BinaryOp::Min);
+        if (name == "max") return fold(BinaryOp::Max);
+        if (name == "floor") return unary1(UnaryOp::Floor);
+        if (name == "ceil") return unary1(UnaryOp::Ceil);
+        if (name == "pow") {
+            if (args.size() != 2) throw ParseError("pow() needs exactly two arguments");
+            return Expr::binary(BinaryOp::Pow, args[0], args[1]);
+        }
+        throw ParseError("unknown function '" + name + "'");
+    }
+};
+
+}  // namespace
+
+Expr parse_expression(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace arcade::expr

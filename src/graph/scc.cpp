@@ -1,0 +1,167 @@
+#include "graph/scc.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/errors.hpp"
+
+namespace arcade::graph {
+
+namespace {
+constexpr std::size_t kUnvisited = std::numeric_limits<std::size_t>::max();
+}  // namespace
+
+SccDecomposition strongly_connected_components(const linalg::CsrMatrix& adjacency) {
+    const std::size_t n = adjacency.rows();
+    ARCADE_ASSERT(adjacency.cols() == n, "SCC needs a square adjacency");
+
+    SccDecomposition out;
+    out.component.assign(n, kUnvisited);
+
+    std::vector<std::size_t> index(n, kUnvisited);
+    std::vector<std::size_t> lowlink(n, 0);
+    std::vector<bool> on_stack(n, false);
+    std::vector<std::size_t> stack;          // Tarjan stack
+    std::vector<std::size_t> call_vertex;    // manual recursion
+    std::vector<std::size_t> call_edge;
+    std::size_t next_index = 0;
+
+    for (std::size_t root = 0; root < n; ++root) {
+        if (index[root] != kUnvisited) continue;
+        call_vertex.push_back(root);
+        call_edge.push_back(0);
+        while (!call_vertex.empty()) {
+            const std::size_t v = call_vertex.back();
+            std::size_t& ei = call_edge.back();
+            if (ei == 0) {
+                index[v] = lowlink[v] = next_index++;
+                stack.push_back(v);
+                on_stack[v] = true;
+            }
+            const auto cols = adjacency.row_columns(v);
+            bool descended = false;
+            while (ei < cols.size()) {
+                const std::size_t w = cols[ei];
+                ++ei;
+                if (index[w] == kUnvisited) {
+                    call_vertex.push_back(w);
+                    call_edge.push_back(0);
+                    descended = true;
+                    break;
+                }
+                if (on_stack[w]) lowlink[v] = std::min(lowlink[v], index[w]);
+            }
+            if (descended) continue;
+            // v finished
+            if (lowlink[v] == index[v]) {
+                const std::size_t comp = out.count++;
+                while (true) {
+                    const std::size_t w = stack.back();
+                    stack.pop_back();
+                    on_stack[w] = false;
+                    out.component[w] = comp;
+                    if (w == v) break;
+                }
+            }
+            call_vertex.pop_back();
+            call_edge.pop_back();
+            if (!call_vertex.empty()) {
+                const std::size_t parent = call_vertex.back();
+                lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+            }
+        }
+    }
+
+    out.bottom.assign(out.count, true);
+    for (std::size_t v = 0; v < n; ++v) {
+        for (std::size_t w : adjacency.row_columns(v)) {
+            if (out.component[w] != out.component[v]) out.bottom[out.component[v]] = false;
+        }
+    }
+    return out;
+}
+
+std::vector<bool> backward_reachable(const linalg::CsrMatrix& transposed,
+                                     const std::vector<bool>& targets) {
+    return forward_reachable(transposed, targets);
+}
+
+std::vector<bool> forward_reachable(const linalg::CsrMatrix& adjacency,
+                                    const std::vector<bool>& sources) {
+    const std::size_t n = adjacency.rows();
+    ARCADE_ASSERT(sources.size() == n, "reachability mask size mismatch");
+    std::vector<bool> seen = sources;
+    std::vector<std::size_t> frontier;
+    for (std::size_t v = 0; v < n; ++v) {
+        if (seen[v]) frontier.push_back(v);
+    }
+    while (!frontier.empty()) {
+        const std::size_t v = frontier.back();
+        frontier.pop_back();
+        for (std::size_t w : adjacency.row_columns(v)) {
+            if (!seen[w]) {
+                seen[w] = true;
+                frontier.push_back(w);
+            }
+        }
+    }
+    return seen;
+}
+
+std::vector<bool> almost_sure_reach(const linalg::CsrMatrix& adjacency,
+                                    const linalg::CsrMatrix& transposed,
+                                    const std::vector<bool>& allowed,
+                                    const std::vector<bool>& targets) {
+    const std::size_t n = adjacency.rows();
+    ARCADE_ASSERT(allowed.size() == n && targets.size() == n, "mask size mismatch");
+
+    // Standard Prob1 fixpoint: start from "can reach targets through allowed"
+    // and iteratively remove states that can escape or get trapped.
+    // u = states with P(reach targets staying in allowed) = 1.
+    // Compute complement: states with positive probability of never reaching.
+    // First: prob0 = states that cannot reach targets through allowed at all.
+    std::vector<bool> can_reach(n, false);
+    {
+        std::vector<std::size_t> frontier;
+        for (std::size_t v = 0; v < n; ++v) {
+            if (targets[v]) {
+                can_reach[v] = true;
+                frontier.push_back(v);
+            }
+        }
+        while (!frontier.empty()) {
+            const std::size_t v = frontier.back();
+            frontier.pop_back();
+            for (std::size_t w : transposed.row_columns(v)) {
+                if (!can_reach[w] && allowed[w] && !targets[w]) {
+                    can_reach[w] = true;
+                    frontier.push_back(w);
+                }
+            }
+        }
+    }
+    // Iteratively remove states that have an edge to a state outside
+    // (can_reach ∪ targets) — in a Markov chain every outgoing edge has
+    // positive probability, so such a state fails almost-sure reachability.
+    std::vector<bool> good = can_reach;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t v = 0; v < n; ++v) {
+            if (!good[v] || targets[v]) continue;
+            for (std::size_t w : adjacency.row_columns(v)) {
+                if (!good[w] && !targets[w]) {
+                    good[v] = false;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+        if (targets[v]) good[v] = true;
+    }
+    return good;
+}
+
+}  // namespace arcade::graph

@@ -1,0 +1,33 @@
+// Dense vector helpers for probability vectors.
+#ifndef ARCADE_LINALG_VECTOR_OPS_HPP
+#define ARCADE_LINALG_VECTOR_OPS_HPP
+
+#include <span>
+#include <vector>
+
+namespace arcade::linalg {
+
+/// sum_i |a_i - b_i| (L1 distance).
+[[nodiscard]] double l1_distance(std::span<const double> a, std::span<const double> b);
+
+/// max_i |a_i - b_i| (Chebyshev distance).
+[[nodiscard]] double linf_distance(std::span<const double> a, std::span<const double> b);
+
+/// max_i |a_i - b_i| / max(|a_i|, floor) — PRISM-style relative criterion.
+[[nodiscard]] double relative_distance(std::span<const double> a, std::span<const double> b);
+
+/// sum of entries.
+[[nodiscard]] double sum(std::span<const double> v);
+
+/// dot product.
+[[nodiscard]] double dot(std::span<const double> a, std::span<const double> b);
+
+/// Scales v so entries sum to 1.  Throws ModelError when the sum is ~0.
+void normalize(std::span<double> v);
+
+/// y += alpha * x.
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+}  // namespace arcade::linalg
+
+#endif  // ARCADE_LINALG_VECTOR_OPS_HPP

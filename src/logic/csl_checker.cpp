@@ -1,0 +1,215 @@
+// CSL/CSRL model-checking engine (see csl.hpp for the supported grammar).
+#include <algorithm>
+#include <cmath>
+
+#include "ctmc/bounded_until.hpp"
+#include "ctmc/steady_state.hpp"
+#include "linalg/vector_ops.hpp"
+#include "logic/csl.hpp"
+#include "support/errors.hpp"
+
+namespace arcade::logic {
+
+namespace {
+
+struct Context {
+    const ctmc::Ctmc& chain;
+    const CheckerOptions& options;
+};
+
+/// Evaluation result inside the recursion: either a satisfaction set or a
+/// per-state value vector (for quantitative sub-queries).
+struct Evaluated {
+    std::vector<bool> sat;
+    std::vector<double> values;
+    bool quantitative = false;
+};
+
+Evaluated eval(const Context& ctx, const StateFormula& f);
+
+std::vector<bool> eval_boolean(const Context& ctx, const StateFormula& f) {
+    Evaluated e = eval(ctx, f);
+    if (e.quantitative) {
+        throw ModelError("expected a boolean sub-formula but found a =? query");
+    }
+    return e.sat;
+}
+
+bool compare(Comparison cmp, double value, double threshold) {
+    switch (cmp) {
+        case Comparison::Lt: return value < threshold;
+        case Comparison::Le: return value <= threshold;
+        case Comparison::Gt: return value > threshold;
+        case Comparison::Ge: return value >= threshold;
+        case Comparison::Query: break;
+    }
+    throw ModelError("query bound used where a comparison is required");
+}
+
+const rewards::RewardStructure& find_reward(const Context& ctx, const std::string& name) {
+    const auto& all = ctx.options.reward_structures;
+    if (all.empty()) throw ModelError("no reward structures registered with the checker");
+    if (name.empty()) {
+        if (all.size() == 1) return all.begin()->second;
+        throw ModelError("multiple reward structures: name one explicitly, R{\"name\"}");
+    }
+    const auto it = all.find(name);
+    if (it == all.end()) throw ModelError("unknown reward structure '" + name + "'");
+    return it->second;
+}
+
+/// Per-state probabilities for a path formula.
+std::vector<double> path_probabilities(const Context& ctx, const PathFormula& path) {
+    const std::size_t n = ctx.chain.state_count();
+    if (const auto* next = std::get_if<NextPath>(&path)) {
+        const std::vector<bool> target = eval_boolean(ctx, *next->operand);
+        // P(X f) from state s = sum over f-successors rate / exit (embedded jump).
+        std::vector<double> out(n, 0.0);
+        for (std::size_t s = 0; s < n; ++s) {
+            const double exit = ctx.chain.exit_rate(s);
+            if (exit <= 0.0) continue;  // absorbing: no next state
+            const auto cols = ctx.chain.rates().row_columns(s);
+            const auto vals = ctx.chain.rates().row_values(s);
+            double p = 0.0;
+            for (std::size_t k = 0; k < cols.size(); ++k) {
+                if (cols[k] != s && target[cols[k]]) p += vals[k];
+            }
+            out[s] = p / exit;
+        }
+        return out;
+    }
+    const auto& until = std::get<UntilPath>(path);
+    const std::vector<bool> phi = eval_boolean(ctx, *until.lhs);
+    const std::vector<bool> psi = eval_boolean(ctx, *until.rhs);
+    if (until.time_bound) {
+        ctmc::TransientOptions topt;
+        topt.epsilon = ctx.options.epsilon;
+        return ctmc::bounded_until_all_states(ctx.chain, phi, psi, *until.time_bound, topt);
+    }
+    return ctmc::reachability_probability(ctx.chain, phi, psi);
+}
+
+Evaluated eval(const Context& ctx, const StateFormula& f) {
+    const std::size_t n = ctx.chain.state_count();
+    Evaluated out;
+
+    if (const auto* lit = std::get_if<BoolLiteral>(&f.node())) {
+        out.sat.assign(n, lit->value);
+        return out;
+    }
+    if (const auto* label = std::get_if<Label>(&f.node())) {
+        out.sat = ctx.chain.label(label->name);
+        return out;
+    }
+    if (const auto* neg = std::get_if<Negation>(&f.node())) {
+        Evaluated inner = eval(ctx, *neg->operand);
+        if (inner.quantitative) {
+            // numeric complement: 1 - value (used for the G duality)
+            out.quantitative = true;
+            out.values.resize(n);
+            for (std::size_t s = 0; s < n; ++s) out.values[s] = 1.0 - inner.values[s];
+            return out;
+        }
+        out.sat.resize(n);
+        for (std::size_t s = 0; s < n; ++s) out.sat[s] = !inner.sat[s];
+        return out;
+    }
+    if (const auto* con = std::get_if<Conjunction>(&f.node())) {
+        const auto a = eval_boolean(ctx, *con->lhs);
+        const auto b = eval_boolean(ctx, *con->rhs);
+        out.sat.resize(n);
+        for (std::size_t s = 0; s < n; ++s) out.sat[s] = a[s] && b[s];
+        return out;
+    }
+    if (const auto* dis = std::get_if<Disjunction>(&f.node())) {
+        const auto a = eval_boolean(ctx, *dis->lhs);
+        const auto b = eval_boolean(ctx, *dis->rhs);
+        out.sat.resize(n);
+        for (std::size_t s = 0; s < n; ++s) out.sat[s] = a[s] || b[s];
+        return out;
+    }
+    if (const auto* prob = std::get_if<Probabilistic>(&f.node())) {
+        const std::vector<double> p = path_probabilities(ctx, prob->path);
+        if (prob->bound.comparison == Comparison::Query) {
+            out.quantitative = true;
+            out.values = p;
+            return out;
+        }
+        out.sat.resize(n);
+        for (std::size_t s = 0; s < n; ++s) {
+            out.sat[s] = compare(prob->bound.comparison, p[s], prob->bound.threshold);
+        }
+        return out;
+    }
+    if (const auto* ss = std::get_if<SteadyState>(&f.node())) {
+        const std::vector<bool> target = eval_boolean(ctx, *ss->operand);
+        // S applies to the chain as a whole (from the initial distribution).
+        const double value = ctmc::steady_state_probability(ctx.chain, target);
+        if (ss->bound.comparison == Comparison::Query) {
+            out.quantitative = true;
+            out.values.assign(n, value);
+            return out;
+        }
+        out.sat.assign(n, compare(ss->bound.comparison, value, ss->bound.threshold));
+        return out;
+    }
+    const auto& reward = std::get<Reward>(f.node());
+    const rewards::RewardStructure& structure = find_reward(ctx, reward.structure);
+    ctmc::TransientOptions topt;
+    topt.epsilon = ctx.options.epsilon;
+
+    std::vector<double> values(n, 0.0);
+    if (const auto* inst = std::get_if<InstantaneousReward>(&reward.property)) {
+        for (std::size_t s = 0; s < n; ++s) {
+            const auto init = ctmc::Ctmc::point_distribution(n, s);
+            values[s] = rewards::instantaneous_reward(ctx.chain, init, structure, inst->time, topt);
+        }
+    } else if (const auto* cum = std::get_if<CumulativeReward>(&reward.property)) {
+        for (std::size_t s = 0; s < n; ++s) {
+            const auto init = ctmc::Ctmc::point_distribution(n, s);
+            values[s] = rewards::accumulated_reward(ctx.chain, init, structure, cum->time, topt);
+        }
+    } else {
+        const double v = rewards::steady_state_reward(ctx.chain, structure);
+        values.assign(n, v);
+    }
+    if (reward.bound.comparison == Comparison::Query) {
+        out.quantitative = true;
+        out.values = std::move(values);
+        return out;
+    }
+    out.sat.resize(n);
+    for (std::size_t s = 0; s < n; ++s) {
+        out.sat[s] = compare(reward.bound.comparison, values[s], reward.bound.threshold);
+    }
+    return out;
+}
+
+}  // namespace
+
+CheckResult check(const ctmc::Ctmc& chain, const StateFormula& formula,
+                  const CheckerOptions& options) {
+    Context ctx{chain, options};
+    Evaluated e = eval(ctx, formula);
+    CheckResult result;
+    const auto& init = chain.initial_distribution();
+    if (e.quantitative) {
+        result.values = e.values;
+        result.value = linalg::dot(init, e.values);
+    } else {
+        result.satisfaction = e.sat;
+        double mass = 0.0;
+        for (std::size_t s = 0; s < e.sat.size(); ++s) {
+            if (e.sat[s]) mass += init[s];
+        }
+        result.holds = mass > 1.0 - 1e-12;
+    }
+    return result;
+}
+
+CheckResult check(const ctmc::Ctmc& chain, const std::string& formula,
+                  const CheckerOptions& options) {
+    return check(chain, *parse_csl(formula), options);
+}
+
+}  // namespace arcade::logic

@@ -1,0 +1,300 @@
+#include "modules/explorer.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "linalg/csr_matrix.hpp"
+#include "support/errors.hpp"
+
+namespace arcade::modules {
+
+namespace {
+
+using State = std::vector<std::int64_t>;
+
+struct StateHash {
+    std::size_t operator()(const State& s) const noexcept {
+        std::size_t h = 1469598103934665603ull;  // FNV-1a
+        for (std::int64_t v : s) {
+            h ^= static_cast<std::size_t>(v) + 0x9e3779b97f4a7c15ull;
+            h *= 1099511628211ull;
+        }
+        return h;
+    }
+};
+
+/// Environment over a flat state vector with constant fallback.  Bool
+/// variables surface as boolean values so guards like `!b` type-check.
+class StateEnv final : public expr::Environment {
+public:
+    StateEnv(const std::map<std::string, expr::Value>& constants,
+             const std::unordered_map<std::string, std::size_t>& var_index,
+             const std::vector<bool>& is_bool)
+        : constants_(constants), var_index_(var_index), is_bool_(is_bool) {}
+
+    void bind(const State* state) { state_ = state; }
+
+    [[nodiscard]] expr::Value lookup(const std::string& name) const override {
+        const auto it = var_index_.find(name);
+        if (it != var_index_.end()) {
+            ARCADE_ASSERT(state_ != nullptr, "unbound state environment");
+            const std::int64_t raw = (*state_)[it->second];
+            if (is_bool_[it->second]) return expr::Value(raw != 0);
+            return expr::Value(static_cast<long long>(raw));
+        }
+        const auto cit = constants_.find(name);
+        if (cit != constants_.end()) return cit->second;
+        throw ModelError("unknown identifier '" + name + "' in expression");
+    }
+
+private:
+    const std::map<std::string, expr::Value>& constants_;
+    const std::unordered_map<std::string, std::size_t>& var_index_;
+    const std::vector<bool>& is_bool_;
+    const State* state_ = nullptr;
+};
+
+struct PendingTransition {
+    std::size_t source;
+    std::size_t target;
+    double rate;
+};
+
+}  // namespace
+
+std::size_t ExploredModel::variable_index(const std::string& name) const {
+    for (std::size_t i = 0; i < variable_names.size(); ++i) {
+        if (variable_names[i] == name) return i;
+    }
+    throw ModelError("unknown variable '" + name + "'");
+}
+
+std::int64_t ExploredModel::value_of(std::size_t state, const std::string& name) const {
+    ARCADE_ASSERT(state < states.size(), "state index out of range");
+    return states[state][variable_index(name)];
+}
+
+ExploredModel explore(const ModuleSystem& system, const ExploreOptions& options) {
+    // Flatten variables; remember their bounds.
+    std::vector<VarDecl> vars = system.all_variables();
+    if (vars.empty()) throw ModelError("module system has no variables");
+    std::unordered_map<std::string, std::size_t> var_index;
+    std::vector<bool> is_bool(vars.size(), false);
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+        if (!var_index.emplace(vars[i].name, i).second) {
+            throw ModelError("duplicate variable '" + vars[i].name + "'");
+        }
+        is_bool[i] = vars[i].type == VarType::Bool;
+    }
+
+    StateEnv env(system.constants, var_index, is_bool);
+
+    // Group synchronising commands by action.
+    struct SyncGroup {
+        std::string action;
+        // per participating module: its commands with this action
+        std::vector<std::vector<const Command*>> per_module;
+    };
+    std::vector<const Command*> interleaved;
+    std::map<std::string, std::vector<std::vector<const Command*>>> sync_map;
+    for (const auto& module : system.modules) {
+        std::map<std::string, std::vector<const Command*>> local;
+        for (const auto& cmd : module.commands) {
+            if (cmd.action.empty()) {
+                interleaved.push_back(&cmd);
+            } else {
+                local[cmd.action].push_back(&cmd);
+            }
+        }
+        for (auto& [action, cmds] : local) {
+            sync_map[action].push_back(std::move(cmds));
+        }
+    }
+
+    // Initial state.
+    State initial(vars.size());
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+        const auto& v = vars[i];
+        if (v.init < v.low || v.init > v.high) {
+            throw ModelError("initial value of '" + v.name + "' violates its bounds");
+        }
+        initial[i] = v.init;
+    }
+
+    std::unordered_map<State, std::size_t, StateHash> index;
+    std::vector<State> states;
+    std::vector<PendingTransition> transitions;
+
+    index.emplace(initial, 0);
+    states.push_back(initial);
+
+    auto apply_assignments = [&](const State& from,
+                                 const std::vector<const Alternative*>& alts) {
+        State to = from;
+        env.bind(&from);
+        for (const Alternative* alt : alts) {
+            for (const auto& asg : alt->assignments) {
+                const auto it = var_index.find(asg.variable);
+                if (it == var_index.end()) {
+                    throw ModelError("assignment to unknown variable '" + asg.variable + "'");
+                }
+                const expr::Value v = asg.value.evaluate(env);
+                const std::int64_t raw =
+                    v.is_bool() ? static_cast<std::int64_t>(v.as_bool()) : v.as_int();
+                const auto& decl = vars[it->second];
+                if (raw < decl.low || raw > decl.high) {
+                    throw ModelError("assignment drives '" + asg.variable + "' to " +
+                                     std::to_string(raw) + ", outside [" +
+                                     std::to_string(decl.low) + "," +
+                                     std::to_string(decl.high) + "]");
+                }
+                to[it->second] = raw;
+            }
+        }
+        return to;
+    };
+
+    for (std::size_t si = 0; si < states.size(); ++si) {
+        if (states.size() > options.max_states) {
+            throw ModelError("state-space explosion: more than " +
+                             std::to_string(options.max_states) + " states");
+        }
+        const State current = states[si];  // copy: `states` may reallocate
+        env.bind(&current);
+
+        auto enqueue = [&](State&& target, double rate) {
+            if (rate < 0.0) throw ModelError("negative transition rate");
+            if (rate == 0.0) return;
+            const auto [it, inserted] = index.emplace(std::move(target), states.size());
+            if (inserted) states.push_back(it->first);
+            transitions.push_back(PendingTransition{si, it->second, rate});
+        };
+
+        // Interleaved commands.
+        for (const Command* cmd : interleaved) {
+            env.bind(&current);
+            if (!cmd->guard.evaluate(env).as_bool()) continue;
+            for (const auto& alt : cmd->alternatives) {
+                env.bind(&current);
+                const double rate = alt.rate.evaluate(env).as_double();
+                State target = apply_assignments(current, {&alt});
+                enqueue(std::move(target), rate);
+            }
+        }
+
+        // Synchronised commands: product over participating modules.
+        for (const auto& [action, per_module] : sync_map) {
+            // Collect enabled (alternative, rate) tuples per module.
+            std::vector<std::vector<std::pair<const Alternative*, double>>> enabled;
+            bool blocked = false;
+            for (const auto& cmds : per_module) {
+                std::vector<std::pair<const Alternative*, double>> here;
+                for (const Command* cmd : cmds) {
+                    env.bind(&current);
+                    if (!cmd->guard.evaluate(env).as_bool()) continue;
+                    for (const auto& alt : cmd->alternatives) {
+                        env.bind(&current);
+                        here.emplace_back(&alt, alt.rate.evaluate(env).as_double());
+                    }
+                }
+                if (here.empty()) {
+                    blocked = true;
+                    break;
+                }
+                enabled.push_back(std::move(here));
+            }
+            if (blocked || enabled.empty()) continue;
+
+            // Cartesian product.
+            std::vector<std::size_t> pick(enabled.size(), 0);
+            while (true) {
+                double rate = 1.0;
+                std::vector<const Alternative*> alts;
+                alts.reserve(enabled.size());
+                for (std::size_t m = 0; m < enabled.size(); ++m) {
+                    alts.push_back(enabled[m][pick[m]].first);
+                    rate *= enabled[m][pick[m]].second;
+                }
+                State target = apply_assignments(current, alts);
+                enqueue(std::move(target), rate);
+
+                // advance the odometer
+                std::size_t d = 0;
+                for (; d < pick.size(); ++d) {
+                    if (++pick[d] < enabled[d].size()) break;
+                    pick[d] = 0;
+                }
+                if (d == pick.size()) break;
+            }
+        }
+
+    }
+
+    // Build the rate matrix.
+    linalg::CsrBuilder builder(states.size(), states.size());
+    for (const auto& t : transitions) {
+        if (t.target == t.source) continue;  // drop rate self-loops (CTMC no-ops)
+        builder.add(t.source, t.target, t.rate);
+    }
+
+    std::vector<double> init_dist(states.size(), 0.0);
+    init_dist[0] = 1.0;
+    ctmc::Ctmc chain(builder.build(), std::move(init_dist));
+
+    ExploredModel out{std::move(chain), {}, {}, {}};
+    out.variable_names.reserve(vars.size());
+    for (const auto& v : vars) out.variable_names.push_back(v.name);
+    out.states = std::move(states);
+
+    // Labels.
+    for (const auto& [name, predicate] : system.labels) {
+        std::vector<bool> bits(out.states.size(), false);
+        for (std::size_t s = 0; s < out.states.size(); ++s) {
+            env.bind(&out.states[s]);
+            bits[s] = predicate.evaluate(env).as_bool();
+        }
+        out.chain.set_label(name, std::move(bits));
+    }
+
+    // Rewards.
+    for (const auto& decl : system.rewards) {
+        std::vector<double> rates(out.states.size(), 0.0);
+        for (std::size_t s = 0; s < out.states.size(); ++s) {
+            env.bind(&out.states[s]);
+            double r = 0.0;
+            for (const auto& item : decl.items) {
+                if (item.guard.evaluate(env).as_bool()) {
+                    r += item.rate.evaluate(env).as_double();
+                }
+            }
+            rates[s] = r;
+        }
+        out.reward_structures.emplace(decl.name,
+                                      rewards::RewardStructure(decl.name, std::move(rates)));
+    }
+    return out;
+}
+
+std::vector<bool> evaluate_state_predicate(const ExploredModel& model,
+                                           const ModuleSystem& system,
+                                           const expr::Expr& predicate) {
+    std::unordered_map<std::string, std::size_t> var_index;
+    for (std::size_t i = 0; i < model.variable_names.size(); ++i) {
+        var_index.emplace(model.variable_names[i], i);
+    }
+    const auto vars = system.all_variables();
+    std::vector<bool> is_bool(model.variable_names.size(), false);
+    for (const auto& v : vars) {
+        const auto it = var_index.find(v.name);
+        if (it != var_index.end()) is_bool[it->second] = v.type == VarType::Bool;
+    }
+    StateEnv env(system.constants, var_index, is_bool);
+    std::vector<bool> bits(model.states.size(), false);
+    for (std::size_t s = 0; s < model.states.size(); ++s) {
+        env.bind(&model.states[s]);
+        bits[s] = predicate.evaluate(env).as_bool();
+    }
+    return bits;
+}
+
+}  // namespace arcade::modules

@@ -1,0 +1,53 @@
+// Explicit-state exploration of a ModuleSystem into a labelled CTMC.
+//
+// Performs breadth-first reachability from the initial valuation, applying
+// interleaved commands directly and synchronised commands as the product of
+// enabled alternatives per participating module (rates multiply — PRISM CTMC
+// semantics).  Produces the CTMC, the per-state variable valuations, label
+// bitsets and reward structures.
+#ifndef ARCADE_MODULES_EXPLORER_HPP
+#define ARCADE_MODULES_EXPLORER_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ctmc/ctmc.hpp"
+#include "modules/modules.hpp"
+#include "rewards/rewards.hpp"
+
+namespace arcade::modules {
+
+struct ExploreOptions {
+    std::size_t max_states = 50'000'000;  ///< explosion guard
+};
+
+/// Result of exploring a module system.
+struct ExploredModel {
+    ctmc::Ctmc chain;                             ///< with labels installed
+    std::vector<std::string> variable_names;      ///< flattened declaration order
+    std::vector<std::vector<std::int64_t>> states;///< valuation per state index
+    std::map<std::string, rewards::RewardStructure> reward_structures;
+
+    /// Index of a variable in `variable_names` (throws if absent).
+    [[nodiscard]] std::size_t variable_index(const std::string& name) const;
+    /// Value of variable `name` in state `state`.
+    [[nodiscard]] std::int64_t value_of(std::size_t state, const std::string& name) const;
+};
+
+/// Explores `system` from its initial valuation.  Throws ModelError on
+/// unbounded variables, blocked-but-mandatory synchronisation inconsistencies,
+/// negative rates, or state-space overflow.
+[[nodiscard]] ExploredModel explore(const ModuleSystem& system,
+                                    const ExploreOptions& options = {});
+
+/// Evaluates a boolean expression over every explored state (e.g. an ad-hoc
+/// label that was not registered before exploration).
+[[nodiscard]] std::vector<bool> evaluate_state_predicate(const ExploredModel& model,
+                                                         const ModuleSystem& system,
+                                                         const expr::Expr& predicate);
+
+}  // namespace arcade::modules
+
+#endif  // ARCADE_MODULES_EXPLORER_HPP

@@ -1,0 +1,75 @@
+#include "numeric/fox_glynn.hpp"
+
+#include <cmath>
+
+#include "support/errors.hpp"
+
+namespace arcade::numeric {
+
+double poisson_pmf(double q, std::size_t k) {
+    if (q == 0.0) return k == 0 ? 1.0 : 0.0;
+    const double log_p =
+        -q + static_cast<double>(k) * std::log(q) - std::lgamma(static_cast<double>(k) + 1.0);
+    return std::exp(log_p);
+}
+
+PoissonWeights fox_glynn(double q, double epsilon) {
+    ARCADE_ASSERT(q >= 0.0, "fox_glynn: negative rate");
+    ARCADE_ASSERT(epsilon > 0.0 && epsilon < 1.0, "fox_glynn: epsilon out of (0,1)");
+
+    PoissonWeights out;
+    if (q == 0.0) {
+        out.left = out.right = 0;
+        out.weights = {1.0};
+        out.total_before_norm = 1.0;
+        return out;
+    }
+
+    // Choose the window [left, right] around the mode m = floor(q) so that the
+    // two tails each hold at most epsilon/2.  For moderate q we simply widen
+    // k*sqrt(q) bands; this is simpler than the original paper's bounds and
+    // safe because we verify the captured mass below and widen if necessary.
+    const double mode = std::floor(q);
+    const double sd = std::sqrt(q);
+
+    auto window = [&](double widths) {
+        const double lo = mode - widths * sd - 4.0;
+        const double hi = mode + widths * sd + 4.0;
+        const std::size_t left = lo > 0.0 ? static_cast<std::size_t>(lo) : 0;
+        const std::size_t right = static_cast<std::size_t>(hi);
+        return std::pair<std::size_t, std::size_t>(left, right);
+    };
+
+    double widths = 5.0;
+    for (;; widths *= 1.5) {
+        const auto [left, right] = window(widths);
+        // Evaluate weights from the mode outwards using the recurrences
+        //   p_{k+1} = p_k * q / (k+1),  p_{k-1} = p_k * k / q
+        // scaled so the mode has value 1, then normalise by the true total.
+        const std::size_t m = static_cast<std::size_t>(mode);
+        std::vector<double> w(right - left + 1, 0.0);
+        const std::size_t mi = m - left;
+        w[mi] = 1.0;
+        for (std::size_t k = m; k > left; --k) {
+            w[k - 1 - left] = w[k - left] * static_cast<double>(k) / q;
+        }
+        for (std::size_t k = m; k < right; ++k) {
+            w[k + 1 - left] = w[k - left] * q / static_cast<double>(k + 1);
+        }
+        double total = 0.0;
+        for (double x : w) total += x;
+        // The scaled total corresponds to (truncated mass) / pmf(mode).
+        const double pmode = poisson_pmf(q, m);
+        const double truncated_mass = total * pmode;
+        if (truncated_mass >= 1.0 - epsilon || widths > 100.0) {
+            out.left = left;
+            out.right = right;
+            out.weights.resize(w.size());
+            for (std::size_t i = 0; i < w.size(); ++i) out.weights[i] = w[i] / total;
+            out.total_before_norm = std::min(truncated_mass, 1.0);
+            return out;
+        }
+    }
+}
+
+}  // namespace arcade::numeric

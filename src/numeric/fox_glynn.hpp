@@ -1,0 +1,37 @@
+// Fox–Glynn computation of Poisson probabilities for uniformisation.
+//
+// Computes weights w_k ∝ e^{-q} q^k / k! for k in [left, right] such that the
+// total truncated mass is ≥ 1 - epsilon, without underflow for large q.
+// Reference: B. Fox, P. Glynn, "Computing Poisson probabilities", CACM 1988.
+#ifndef ARCADE_NUMERIC_FOX_GLYNN_HPP
+#define ARCADE_NUMERIC_FOX_GLYNN_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace arcade::numeric {
+
+/// Truncated, normalised Poisson weight vector.
+struct PoissonWeights {
+    std::size_t left = 0;               ///< first index with non-negligible mass
+    std::size_t right = 0;              ///< last index included
+    std::vector<double> weights;        ///< weights[k-left] = P(N=k), normalised
+    double total_before_norm = 0.0;     ///< truncated mass before normalisation
+
+    [[nodiscard]] double weight(std::size_t k) const {
+        if (k < left || k > right) return 0.0;
+        return weights[k - left];
+    }
+};
+
+/// Computes the Fox–Glynn window and weights for rate `q` ≥ 0 and truncation
+/// error `epsilon` (total missing probability mass).  For q == 0 returns the
+/// degenerate distribution at k = 0.
+[[nodiscard]] PoissonWeights fox_glynn(double q, double epsilon);
+
+/// Direct Poisson pmf e^{-q} q^k / k!, numerically stable via logs.
+[[nodiscard]] double poisson_pmf(double q, std::size_t k);
+
+}  // namespace arcade::numeric
+
+#endif  // ARCADE_NUMERIC_FOX_GLYNN_HPP

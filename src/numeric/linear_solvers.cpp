@@ -1,0 +1,158 @@
+#include "numeric/linear_solvers.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/vector_ops.hpp"
+#include "support/errors.hpp"
+
+namespace arcade::numeric {
+
+namespace {
+
+double criterion(double newv, double oldv, bool relative) {
+    const double diff = std::abs(newv - oldv);
+    if (!relative) return diff;
+    const double scale = std::max(std::abs(newv), 1e-300);
+    return diff / scale;
+}
+
+}  // namespace
+
+SolverResult steady_state_gauss_seidel(const linalg::CsrMatrix& rate_matrix,
+                                       std::span<double> pi, const SolverOptions& options) {
+    const std::size_t n = rate_matrix.rows();
+    ARCADE_ASSERT(rate_matrix.cols() == n, "steady state needs square matrix");
+    ARCADE_ASSERT(pi.size() == n, "pi size mismatch");
+
+    // Precompute incoming edges and exit rates.
+    const linalg::CsrMatrix incoming = rate_matrix.transposed();
+    std::vector<double> exit_rate(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto cols = rate_matrix.row_columns(i);
+        const auto vals = rate_matrix.row_values(i);
+        for (std::size_t k = 0; k < cols.size(); ++k) {
+            if (cols[k] != i) exit_rate[i] += vals[k];
+        }
+    }
+
+    // Initial guess: uniform.
+    const double u = 1.0 / static_cast<double>(n);
+    for (double& x : pi) x = u;
+
+    SolverResult res;
+    for (std::size_t it = 0; it < options.max_iterations; ++it) {
+        double worst = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (exit_rate[j] <= 0.0) continue;  // absorbing: handled by caller
+            const auto cols = incoming.row_columns(j);
+            const auto vals = incoming.row_values(j);
+            double inflow = 0.0;
+            for (std::size_t k = 0; k < cols.size(); ++k) {
+                if (cols[k] != j) inflow += pi[cols[k]] * vals[k];
+            }
+            const double newv = inflow / exit_rate[j];
+            worst = std::max(worst, criterion(newv, pi[j], options.relative));
+            pi[j] = newv;
+        }
+        res.iterations = it + 1;
+        res.final_error = worst;
+        if (worst < options.epsilon) {
+            linalg::normalize(pi);
+            return res;
+        }
+    }
+    throw ConvergenceError("steady_state_gauss_seidel: no convergence after " +
+                           std::to_string(options.max_iterations) + " iterations (err=" +
+                           std::to_string(res.final_error) + ")");
+}
+
+SolverResult fixpoint_gauss_seidel(const linalg::CsrMatrix& a, std::span<const double> b,
+                                   std::span<double> x, const SolverOptions& options) {
+    const std::size_t n = a.rows();
+    ARCADE_ASSERT(a.cols() == n, "fixpoint needs square matrix");
+    ARCADE_ASSERT(b.size() == n && x.size() == n, "rhs/solution size mismatch");
+
+    SolverResult res;
+    for (std::size_t it = 0; it < options.max_iterations; ++it) {
+        double worst = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto cols = a.row_columns(i);
+            const auto vals = a.row_values(i);
+            double acc = b[i];
+            double diag = 0.0;
+            for (std::size_t k = 0; k < cols.size(); ++k) {
+                if (cols[k] == i) {
+                    diag = vals[k];
+                } else {
+                    acc += vals[k] * x[cols[k]];
+                }
+            }
+            // x_i = a_ii x_i + acc  =>  x_i = acc / (1 - a_ii)
+            ARCADE_ASSERT(diag < 1.0, "fixpoint: diagonal >= 1 is singular");
+            const double newv = acc / (1.0 - diag);
+            worst = std::max(worst, criterion(newv, x[i], options.relative));
+            x[i] = newv;
+        }
+        res.iterations = it + 1;
+        res.final_error = worst;
+        if (worst < options.epsilon) return res;
+    }
+    throw ConvergenceError("fixpoint_gauss_seidel: no convergence after " +
+                           std::to_string(options.max_iterations) + " iterations");
+}
+
+SolverResult steady_state_power(const linalg::CsrMatrix& rate_matrix, std::span<double> pi,
+                                const SolverOptions& options) {
+    const std::size_t n = rate_matrix.rows();
+    ARCADE_ASSERT(rate_matrix.cols() == n && pi.size() == n, "shape mismatch");
+
+    // Uniformise: P = I + Q/Lambda.
+    std::vector<double> exit_rate(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto cols = rate_matrix.row_columns(i);
+        const auto vals = rate_matrix.row_values(i);
+        for (std::size_t k = 0; k < cols.size(); ++k) {
+            if (cols[k] != i) exit_rate[i] += vals[k];
+        }
+    }
+    double lambda = 0.0;
+    for (double r : exit_rate) lambda = std::max(lambda, r);
+    if (lambda == 0.0) lambda = 1.0;
+    lambda *= 1.02;
+
+    const double u = 1.0 / static_cast<double>(n);
+    for (double& x : pi) x = u;
+    std::vector<double> next(n, 0.0);
+
+    SolverResult res;
+    for (std::size_t it = 0; it < options.max_iterations; ++it) {
+        std::fill(next.begin(), next.end(), 0.0);
+        for (std::size_t i = 0; i < n; ++i) {
+            const double p = pi[i];
+            if (p == 0.0) continue;
+            const auto cols = rate_matrix.row_columns(i);
+            const auto vals = rate_matrix.row_values(i);
+            double moved = 0.0;
+            for (std::size_t k = 0; k < cols.size(); ++k) {
+                if (cols[k] == i) continue;
+                const double q = vals[k] / lambda;
+                next[cols[k]] += p * q;
+                moved += q;
+            }
+            next[i] += p * (1.0 - moved);
+        }
+        const double err = options.relative ? linalg::relative_distance(next, pi)
+                                            : linalg::linf_distance(next, pi);
+        std::copy(next.begin(), next.end(), pi.begin());
+        res.iterations = it + 1;
+        res.final_error = err;
+        if (err < options.epsilon) {
+            linalg::normalize(pi);
+            return res;
+        }
+    }
+    throw ConvergenceError("steady_state_power: no convergence");
+}
+
+}  // namespace arcade::numeric

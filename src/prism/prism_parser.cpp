@@ -1,0 +1,356 @@
+#include "prism/prism_parser.hpp"
+
+#include <cctype>
+#include <map>
+
+#include "support/errors.hpp"
+#include "support/strings.hpp"
+
+namespace arcade::prism {
+
+namespace {
+
+/// Line-oriented scanner with comment stripping and simple token helpers.
+class Scanner {
+public:
+    explicit Scanner(const std::string& source) : src_(source) {}
+
+    [[nodiscard]] bool at_end() {
+        skip_ws();
+        return i_ >= src_.size();
+    }
+
+    [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+    /// Peeks the next word without consuming.
+    [[nodiscard]] std::string peek_word() {
+        const std::size_t save_i = i_;
+        const std::size_t save_line = line_;
+        std::string w = word();
+        i_ = save_i;
+        line_ = save_line;
+        return w;
+    }
+
+    /// Consumes an identifier-like word.
+    std::string word() {
+        skip_ws();
+        std::size_t j = i_;
+        while (j < src_.size() &&
+               (std::isalnum(static_cast<unsigned char>(src_[j])) != 0 || src_[j] == '_')) {
+            ++j;
+        }
+        if (j == i_) fail("expected a word");
+        std::string w = src_.substr(i_, j - i_);
+        i_ = j;
+        return w;
+    }
+
+    /// Consumes exactly `text` (after whitespace) or fails.
+    void expect(const std::string& text) {
+        skip_ws();
+        if (src_.compare(i_, text.size(), text) != 0) {
+            fail("expected '" + text + "'");
+        }
+        advance(text.size());
+    }
+
+    /// Consumes `text` if present.
+    bool accept(const std::string& text) {
+        skip_ws();
+        if (src_.compare(i_, text.size(), text) == 0) {
+            // keywords must not swallow identifier prefixes
+            if (std::isalpha(static_cast<unsigned char>(text[0])) != 0) {
+                const std::size_t after = i_ + text.size();
+                if (after < src_.size() &&
+                    (std::isalnum(static_cast<unsigned char>(src_[after])) != 0 ||
+                     src_[after] == '_')) {
+                    return false;
+                }
+            }
+            advance(text.size());
+            return true;
+        }
+        return false;
+    }
+
+    /// Reads raw text up to (not including) the delimiter character,
+    /// balancing parentheses so that e.g. ';' inside parens is skipped.
+    std::string until(char delim) {
+        skip_ws();
+        std::size_t depth = 0;
+        std::size_t j = i_;
+        while (j < src_.size()) {
+            const char c = src_[j];
+            if (c == '(') {
+                ++depth;
+            } else if (c == ')') {
+                if (depth == 0) break;
+                --depth;
+            } else if (depth == 0 && c == delim) {
+                break;
+            } else if (c == '/' && j + 1 < src_.size() && src_[j + 1] == '/') {
+                while (j < src_.size() && src_[j] != '\n') ++j;
+                continue;
+            }
+            ++j;
+        }
+        std::string out = src_.substr(i_, j - i_);
+        advance(j - i_);
+        return std::string(trim(out));
+    }
+
+    /// Reads raw text up to (not including) the token "->" at paren depth 0.
+    /// Needed for guards, where a bare '-' may be a subtraction.
+    std::string until_arrow() {
+        skip_ws();
+        std::size_t depth = 0;
+        std::size_t j = i_;
+        while (j < src_.size()) {
+            const char c = src_[j];
+            if (c == '(') ++depth;
+            if (c == ')' && depth > 0) --depth;
+            if (depth == 0 && c == '-' && j + 1 < src_.size() && src_[j + 1] == '>') break;
+            if (c == '/' && j + 1 < src_.size() && src_[j + 1] == '/') {
+                while (j < src_.size() && src_[j] != '\n') ++j;
+                continue;
+            }
+            ++j;
+        }
+        std::string out = src_.substr(i_, j - i_);
+        advance(j - i_);
+        return std::string(trim(out));
+    }
+
+    /// Reads a quoted string "...".
+    std::string quoted() {
+        expect("\"");
+        std::size_t j = i_;
+        while (j < src_.size() && src_[j] != '"') ++j;
+        if (j >= src_.size()) fail("unterminated string");
+        std::string out = src_.substr(i_, j - i_);
+        advance(j - i_ + 1);
+        return out;
+    }
+
+    [[noreturn]] void fail(const std::string& message) {
+        throw ParseError(message, line_, 1);
+    }
+
+private:
+    const std::string& src_;
+    std::size_t i_ = 0;
+    std::size_t line_ = 1;
+
+    void advance(std::size_t n) {
+        for (std::size_t k = 0; k < n && i_ < src_.size(); ++k, ++i_) {
+            if (src_[i_] == '\n') ++line_;
+        }
+    }
+
+    void skip_ws() {
+        while (i_ < src_.size()) {
+            const char c = src_[i_];
+            if (c == '/' && i_ + 1 < src_.size() && src_[i_ + 1] == '/') {
+                while (i_ < src_.size() && src_[i_] != '\n') ++i_;
+            } else if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+                advance(1);
+            } else {
+                break;
+            }
+        }
+    }
+};
+
+/// Substitutes formula identifiers by their bodies (recursively).
+expr::Expr substitute(const expr::Expr& e,
+                      const std::map<std::string, expr::Expr>& formulas) {
+    using namespace expr;
+    if (e.empty()) return e;
+    const auto& n = e.node();
+    if (const auto* id = std::get_if<Identifier>(&n)) {
+        const auto it = formulas.find(id->name);
+        if (it != formulas.end()) return substitute(it->second, formulas);
+        return e;
+    }
+    if (std::get_if<Literal>(&n) != nullptr) return e;
+    if (const auto* u = std::get_if<Unary>(&n)) {
+        return Expr::unary(u->op, substitute(u->operand, formulas));
+    }
+    if (const auto* b = std::get_if<Binary>(&n)) {
+        return Expr::binary(b->op, substitute(b->lhs, formulas), substitute(b->rhs, formulas));
+    }
+    const auto& ite_node = std::get<Ite>(n);
+    return Expr::ite(substitute(ite_node.cond, formulas),
+                     substitute(ite_node.then_branch, formulas),
+                     substitute(ite_node.else_branch, formulas));
+}
+
+/// Evaluates a constant expression against already-known constants.
+class ConstEnv final : public expr::Environment {
+public:
+    explicit ConstEnv(const std::map<std::string, expr::Value>& constants)
+        : constants_(constants) {}
+    [[nodiscard]] expr::Value lookup(const std::string& name) const override {
+        const auto it = constants_.find(name);
+        if (it == constants_.end()) {
+            throw ModelError("unknown constant '" + name + "'");
+        }
+        return it->second;
+    }
+
+private:
+    const std::map<std::string, expr::Value>& constants_;
+};
+
+}  // namespace
+
+modules::ModuleSystem parse_prism(const std::string& source) {
+    Scanner sc(source);
+    modules::ModuleSystem system;
+    std::map<std::string, expr::Expr> formulas;
+    ConstEnv const_env(system.constants);
+
+    if (!sc.accept("ctmc")) {
+        sc.fail("model must start with 'ctmc' (only CTMC mode is supported)");
+    }
+
+    auto parse_expr_text = [&](const std::string& text) {
+        return substitute(expr::parse_expression(text), formulas);
+    };
+
+    while (!sc.at_end()) {
+        const std::string kw = sc.peek_word();
+        if (kw == "const") {
+            sc.word();
+            std::string type = sc.peek_word();
+            bool is_double = false;
+            bool is_bool = false;
+            if (type == "double" || type == "int" || type == "bool") {
+                sc.word();
+                is_double = type == "double";
+                is_bool = type == "bool";
+            }
+            const std::string name = sc.word();
+            sc.expect("=");
+            const std::string body = sc.until(';');
+            sc.expect(";");
+            const expr::Value v = parse_expr_text(body).evaluate(const_env);
+            if (is_double) {
+                system.constants.emplace(name, expr::Value(v.as_double()));
+            } else if (is_bool) {
+                system.constants.emplace(name, expr::Value(v.as_bool()));
+            } else {
+                system.constants.emplace(name, v);
+            }
+        } else if (kw == "formula") {
+            sc.word();
+            const std::string name = sc.word();
+            sc.expect("=");
+            const std::string body = sc.until(';');
+            sc.expect(";");
+            formulas.emplace(name, parse_expr_text(body));
+        } else if (kw == "module") {
+            sc.word();
+            modules::Module module;
+            module.name = sc.word();
+            while (!sc.accept("endmodule")) {
+                if (sc.accept("[")) {
+                    // command
+                    modules::Command cmd;
+                    if (!sc.accept("]")) {
+                        cmd.action = sc.word();
+                        sc.expect("]");
+                    }
+                    const std::string guard_text = sc.until_arrow();
+                    sc.expect("->");
+                    cmd.guard = parse_expr_text(guard_text);
+                    // alternatives separated by '+': rate : updates
+                    while (true) {
+                        modules::Alternative alt;
+                        const std::string rate_text = sc.until(':');
+                        sc.expect(":");
+                        alt.rate = parse_expr_text(rate_text);
+                        // updates: (x'=e) & (y'=f)  or the keyword true
+                        if (sc.accept("true")) {
+                            // no assignments
+                        } else {
+                            while (true) {
+                                sc.expect("(");
+                                const std::string var = sc.word();
+                                sc.expect("'");
+                                sc.expect("=");
+                                const std::string val_text = sc.until(')');
+                                sc.expect(")");
+                                alt.assignments.push_back(
+                                    modules::Assignment{var, parse_expr_text(val_text)});
+                                if (!sc.accept("&")) break;
+                            }
+                        }
+                        cmd.alternatives.push_back(std::move(alt));
+                        if (sc.accept("+")) continue;
+                        sc.expect(";");
+                        break;
+                    }
+                    module.commands.push_back(std::move(cmd));
+                } else {
+                    // variable declaration: name : [lo..hi] init e;  |  name : bool init e;
+                    modules::VarDecl var;
+                    var.name = sc.word();
+                    sc.expect(":");
+                    if (sc.accept("bool")) {
+                        var.type = modules::VarType::Bool;
+                        var.low = 0;
+                        var.high = 1;
+                    } else {
+                        sc.expect("[");
+                        const std::string lo = sc.until('.');
+                        sc.expect("..");
+                        const std::string hi = sc.until(']');
+                        sc.expect("]");
+                        var.type = modules::VarType::Int;
+                        var.low = parse_expr_text(lo).evaluate(const_env).as_int();
+                        var.high = parse_expr_text(hi).evaluate(const_env).as_int();
+                    }
+                    if (sc.accept("init")) {
+                        const std::string init_text = sc.until(';');
+                        const expr::Value v = parse_expr_text(init_text).evaluate(const_env);
+                        var.init = v.is_bool() ? static_cast<long long>(v.as_bool()) : v.as_int();
+                    } else {
+                        var.init = var.low;
+                    }
+                    sc.expect(";");
+                    module.variables.push_back(std::move(var));
+                }
+            }
+            system.modules.push_back(std::move(module));
+        } else if (kw == "label") {
+            sc.word();
+            const std::string name = sc.quoted();
+            sc.expect("=");
+            const std::string body = sc.until(';');
+            sc.expect(";");
+            system.labels.emplace(name, parse_expr_text(body));
+        } else if (kw == "rewards") {
+            sc.word();
+            modules::RewardDecl decl;
+            decl.name = sc.quoted();
+            while (!sc.accept("endrewards")) {
+                modules::RewardItem item;
+                const std::string guard_text = sc.until(':');
+                sc.expect(":");
+                item.guard = parse_expr_text(guard_text);
+                const std::string rate_text = sc.until(';');
+                sc.expect(";");
+                item.rate = parse_expr_text(rate_text);
+                decl.items.push_back(std::move(item));
+            }
+            system.rewards.push_back(std::move(decl));
+        } else {
+            sc.fail("unexpected keyword '" + kw + "'");
+        }
+    }
+    return system;
+}
+
+}  // namespace arcade::prism

@@ -1,0 +1,33 @@
+// Parser for the PRISM-language subset the Arcade translation targets:
+//
+//   ctmc
+//   const int N = 3;  const double lambda = 1/500;
+//   formula busy = s1=2 | s2=2;
+//   module pump1
+//     s1 : [0..2] init 0;
+//     b1 : bool init false;
+//     [] s1=0 -> lambda : (s1'=1);
+//     [fix] s1=1 -> mu : (s1'=0) + mu2 : (s1'=2);
+//   endmodule
+//   label "down" = s1=1 & s2=1;
+//   rewards "repair_cost"
+//     s1=1 : 3;
+//   endrewards
+//
+// Formulas are substituted syntactically, as in PRISM.  Comments: // ... \n.
+#ifndef ARCADE_PRISM_PRISM_PARSER_HPP
+#define ARCADE_PRISM_PRISM_PARSER_HPP
+
+#include <string>
+
+#include "modules/modules.hpp"
+
+namespace arcade::prism {
+
+/// Parses PRISM source text into a module system.  Throws arcade::ParseError
+/// with line information on malformed input.
+[[nodiscard]] modules::ModuleSystem parse_prism(const std::string& source);
+
+}  // namespace arcade::prism
+
+#endif  // ARCADE_PRISM_PRISM_PARSER_HPP

@@ -1,0 +1,19 @@
+// Serialises a ModuleSystem to PRISM language text.  Together with the
+// parser this gives a round-trip (export -> parse -> explore) used both as
+// an integration test and as an interoperability escape hatch: models built
+// with the Arcade API can be exported and checked with the real PRISM tool.
+#ifndef ARCADE_PRISM_PRISM_WRITER_HPP
+#define ARCADE_PRISM_PRISM_WRITER_HPP
+
+#include <string>
+
+#include "modules/modules.hpp"
+
+namespace arcade::prism {
+
+/// Renders `system` as a PRISM CTMC model.
+[[nodiscard]] std::string write_prism(const modules::ModuleSystem& system);
+
+}  // namespace arcade::prism
+
+#endif  // ARCADE_PRISM_PRISM_WRITER_HPP

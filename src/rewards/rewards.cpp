@@ -1,0 +1,152 @@
+#include "rewards/rewards.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ctmc/steady_state.hpp"
+#include "linalg/vector_ops.hpp"
+#include "numeric/fox_glynn.hpp"
+#include "support/errors.hpp"
+
+namespace arcade::rewards {
+
+RewardStructure::RewardStructure(std::string name, std::vector<double> state_rates)
+    : name_(std::move(name)), rates_(std::move(state_rates)) {}
+
+namespace {
+
+void check(const ctmc::Ctmc& chain, const RewardStructure& reward,
+           std::span<const double> initial) {
+    ARCADE_ASSERT(reward.state_count() == chain.state_count(),
+                  "reward structure size mismatch");
+    ARCADE_ASSERT(initial.size() == chain.state_count(), "initial size mismatch");
+}
+
+/// out = in * P with P = I + Q/lambda.
+void uniformised_step(const ctmc::Ctmc& chain, double lambda, std::span<const double> in,
+                      std::span<double> out) {
+    const auto& rates = chain.rates();
+    const std::size_t n = rates.rows();
+    std::fill(out.begin(), out.end(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double p = in[i];
+        if (p == 0.0) continue;
+        const auto cols = rates.row_columns(i);
+        const auto vals = rates.row_values(i);
+        double moved = 0.0;
+        for (std::size_t k = 0; k < cols.size(); ++k) {
+            if (cols[k] == i) continue;
+            const double q = vals[k] / lambda;
+            out[cols[k]] += p * q;
+            moved += q;
+        }
+        out[i] += p * (1.0 - moved);
+    }
+}
+
+/// E over one interval of length dt starting from distribution `dist`:
+///   (1/L) sum_k (1 - F_k(L dt)) * (dist P^k) · rho
+/// Also advances `dist` to the end of the interval (re-using the powers).
+double accumulate_interval(const ctmc::Ctmc& chain, double lambda, std::vector<double>& dist,
+                           const std::vector<double>& rho, double dt, double epsilon) {
+    if (dt <= 0.0) return 0.0;
+    const double q = lambda * dt;
+    const auto weights = numeric::fox_glynn(q, epsilon);
+
+    // Survival function of the Poisson: S_k = P(N > k) = 1 - F_k.
+    // Computed from the normalised weights; mass below `left` counts as
+    // already included in F (indices < left have negligible pmf).
+    const std::size_t n = chain.state_count();
+    std::vector<double> cur = dist;
+    std::vector<double> next(n, 0.0);
+    std::vector<double> end_dist(n, 0.0);
+
+    double cdf = 0.0;
+    double total = 0.0;
+    for (std::size_t k = 0;; ++k) {
+        const double w = weights.weight(k);
+        cdf += w;
+        const double survival = std::max(0.0, 1.0 - cdf);
+        // reward contribution of P^k term
+        if (survival > 0.0) {
+            total += survival * linalg::dot(cur, rho);
+        }
+        if (w != 0.0) {
+            for (std::size_t i = 0; i < n; ++i) end_dist[i] += w * cur[i];
+        }
+        if (k == weights.right) break;
+        uniformised_step(chain, lambda, cur, next);
+        std::swap(cur, next);
+    }
+    // Indices k < left all have survival 1 and are skipped by weight(k)==0 in
+    // the loop only for the *pmf*; the survival term must still be counted.
+    // The loop above runs k from 0 so all survival terms are included.
+    dist = end_dist;
+    return total / lambda;
+}
+
+}  // namespace
+
+double instantaneous_reward(const ctmc::Ctmc& chain, std::span<const double> initial,
+                            const RewardStructure& reward, double t,
+                            const ctmc::TransientOptions& options) {
+    check(chain, reward, initial);
+    const auto dist = ctmc::transient_distribution(chain, initial, t, options);
+    return linalg::dot(dist, reward.state_rates());
+}
+
+std::vector<double> instantaneous_reward_series(const ctmc::Ctmc& chain,
+                                                std::span<const double> initial,
+                                                const RewardStructure& reward,
+                                                std::span<const double> times,
+                                                const ctmc::TransientOptions& options) {
+    check(chain, reward, initial);
+    ctmc::TransientEvolver evolver(chain, initial, options);
+    std::vector<double> out;
+    out.reserve(times.size());
+    for (double t : times) {
+        evolver.advance_to(t);
+        out.push_back(linalg::dot(evolver.distribution(), reward.state_rates()));
+    }
+    return out;
+}
+
+double accumulated_reward(const ctmc::Ctmc& chain, std::span<const double> initial,
+                          const RewardStructure& reward, double t,
+                          const ctmc::TransientOptions& options) {
+    check(chain, reward, initial);
+    ARCADE_ASSERT(t >= 0.0, "negative time bound");
+    const double lambda = std::max(chain.max_exit_rate(), 1e-12) * 1.02;
+    std::vector<double> dist(initial.begin(), initial.end());
+    return accumulate_interval(chain, lambda, dist, reward.state_rates(), t, options.epsilon);
+}
+
+std::vector<double> accumulated_reward_series(const ctmc::Ctmc& chain,
+                                              std::span<const double> initial,
+                                              const RewardStructure& reward,
+                                              std::span<const double> times,
+                                              const ctmc::TransientOptions& options) {
+    check(chain, reward, initial);
+    const double lambda = std::max(chain.max_exit_rate(), 1e-12) * 1.02;
+    std::vector<double> dist(initial.begin(), initial.end());
+    std::vector<double> out;
+    out.reserve(times.size());
+    double acc = 0.0;
+    double prev = 0.0;
+    for (double t : times) {
+        ARCADE_ASSERT(t >= prev - 1e-12, "time grid must be ascending");
+        acc += accumulate_interval(chain, lambda, dist, reward.state_rates(), t - prev,
+                                   options.epsilon);
+        out.push_back(acc);
+        prev = t;
+    }
+    return out;
+}
+
+double steady_state_reward(const ctmc::Ctmc& chain, const RewardStructure& reward) {
+    ARCADE_ASSERT(reward.state_count() == chain.state_count(), "reward size mismatch");
+    const auto pi = ctmc::steady_state(chain);
+    return linalg::dot(pi, reward.state_rates());
+}
+
+}  // namespace arcade::rewards

@@ -1,0 +1,15 @@
+#include "support/errors.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace arcade::detail {
+
+[[noreturn]] void assertion_failed(const char* expr, const char* file, int line,
+                                   const std::string& message) {
+    std::cerr << "ARCADE_ASSERT failed: " << expr << "\n  at " << file << ":"
+              << line << "\n  " << message << std::endl;
+    std::abort();
+}
+
+}  // namespace arcade::detail

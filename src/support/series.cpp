@@ -1,0 +1,71 @@
+#include "support/series.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+#include "support/errors.hpp"
+#include "support/strings.hpp"
+
+namespace arcade {
+
+void Figure::add_series(std::string name, std::vector<double> values) {
+    ARCADE_ASSERT(values.size() == times_.size(),
+                  "series '" + name + "' length " + std::to_string(values.size()) +
+                      " != time grid length " + std::to_string(times_.size()));
+    series_.push_back(Series{std::move(name), std::move(values)});
+}
+
+void Figure::print(std::ostream& os) const {
+    os << "# " << title_ << "\n";
+    os << "# x: " << x_label_ << "   y: " << y_label_ << "\n";
+    os << "# t";
+    for (const auto& s : series_) os << "\t" << s.name;
+    os << "\n";
+    os << std::setprecision(7);
+    for (std::size_t i = 0; i < times_.size(); ++i) {
+        os << times_[i];
+        for (const auto& s : series_) os << "\t" << s.values[i];
+        os << "\n";
+    }
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+    ARCADE_ASSERT(cells.size() == header_.size(), "table row arity mismatch");
+    rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            width[c] = std::max(width[c], row[c].size());
+        }
+    }
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(width[c]) + 2) << row[c];
+        }
+        os << "\n";
+    };
+    emit(header_);
+    std::vector<std::string> rule;
+    rule.reserve(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) rule.emplace_back(std::string(width[c], '-'));
+    emit(rule);
+    for (const auto& row : rows_) emit(row);
+}
+
+std::vector<double> time_grid(double max, std::size_t points) {
+    ARCADE_ASSERT(points >= 2, "time grid needs at least two points");
+    std::vector<double> out(points);
+    for (std::size_t i = 0; i < points; ++i) {
+        out[i] = max * static_cast<double>(i) / static_cast<double>(points - 1);
+    }
+    return out;
+}
+
+}  // namespace arcade

@@ -1,0 +1,32 @@
+// Small string utilities used by the parsers and writers.
+#ifndef ARCADE_SUPPORT_STRINGS_HPP
+#define ARCADE_SUPPORT_STRINGS_HPP
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace arcade {
+
+/// Splits `text` on `sep`, keeping empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view text);
+
+/// True iff `text` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Joins `parts` with `sep` between consecutive elements.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// Renders a double with enough digits to round-trip, trimming trailing zeros.
+[[nodiscard]] std::string format_double(double value);
+
+/// Lower-cases ASCII letters.
+[[nodiscard]] std::string to_lower(std::string_view text);
+
+}  // namespace arcade
+
+#endif  // ARCADE_SUPPORT_STRINGS_HPP

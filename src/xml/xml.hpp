@@ -1,0 +1,73 @@
+// Minimal non-validating XML DOM — enough for the Arcade-XML input format:
+// elements, attributes, text, comments, CDATA, declarations.  No namespaces,
+// no DTD, no external entities (the five predefined entities are decoded).
+#ifndef ARCADE_XML_XML_HPP
+#define ARCADE_XML_XML_HPP
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace arcade::xml {
+
+class Element;
+using ElementPtr = std::shared_ptr<Element>;
+
+/// An XML element: name, attributes, child elements and concatenated text.
+class Element {
+public:
+    explicit Element(std::string name) : name_(std::move(name)) {}
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+    [[nodiscard]] const std::map<std::string, std::string>& attributes() const noexcept {
+        return attributes_;
+    }
+    void set_attribute(const std::string& key, const std::string& value) {
+        attributes_[key] = value;
+    }
+    [[nodiscard]] bool has_attribute(const std::string& key) const {
+        return attributes_.count(key) > 0;
+    }
+    /// Throws arcade::ParseError when missing.
+    [[nodiscard]] const std::string& attribute(const std::string& key) const;
+    [[nodiscard]] std::string attribute_or(const std::string& key,
+                                           const std::string& fallback) const;
+    [[nodiscard]] double attribute_as_double(const std::string& key) const;
+    [[nodiscard]] long long attribute_as_int(const std::string& key) const;
+
+    [[nodiscard]] const std::vector<ElementPtr>& children() const noexcept { return children_; }
+    ElementPtr add_child(const std::string& name);
+    void add_child(ElementPtr child) { children_.push_back(std::move(child)); }
+
+    /// All children with the given element name.
+    [[nodiscard]] std::vector<ElementPtr> children_named(const std::string& name) const;
+    /// First child with the name, or nullptr.
+    [[nodiscard]] ElementPtr first_child(const std::string& name) const;
+
+    [[nodiscard]] const std::string& text() const noexcept { return text_; }
+    void append_text(const std::string& t) { text_ += t; }
+    void set_text(std::string t) { text_ = std::move(t); }
+
+private:
+    std::string name_;
+    std::map<std::string, std::string> attributes_;
+    std::vector<ElementPtr> children_;
+    std::string text_;
+};
+
+/// Parses a document and returns its root element.
+/// Throws arcade::ParseError with line/column on malformed input.
+[[nodiscard]] ElementPtr parse_document(const std::string& source);
+
+/// Serialises `root` with 2-space indentation and an XML declaration.
+[[nodiscard]] std::string write_document(const Element& root);
+
+/// Escapes the five predefined entities in attribute/text content.
+[[nodiscard]] std::string escape(const std::string& raw);
+
+}  // namespace arcade::xml
+
+#endif  // ARCADE_XML_XML_HPP

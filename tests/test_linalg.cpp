@@ -1,0 +1,100 @@
+// Unit tests: sparse matrices and vector helpers.
+#include <gtest/gtest.h>
+
+#include "linalg/csr_matrix.hpp"
+#include "linalg/vector_ops.hpp"
+#include "support/errors.hpp"
+
+namespace la = arcade::linalg;
+
+TEST(CsrMatrix, BuildsSortedRowsAndSumsDuplicates) {
+    la::CsrBuilder b(3, 3);
+    b.add(1, 2, 4.0);
+    b.add(1, 0, 1.0);
+    b.add(1, 2, 0.5);  // duplicate coordinate: summed
+    b.add(0, 1, 2.0);
+    const la::CsrMatrix m = b.build();
+    EXPECT_EQ(m.nonzeros(), 3u);
+    EXPECT_DOUBLE_EQ(m.at(1, 2), 4.5);
+    EXPECT_DOUBLE_EQ(m.at(1, 0), 1.0);
+    EXPECT_DOUBLE_EQ(m.at(0, 1), 2.0);
+    EXPECT_DOUBLE_EQ(m.at(2, 2), 0.0);
+    const auto cols = m.row_columns(1);
+    ASSERT_EQ(cols.size(), 2u);
+    EXPECT_LT(cols[0], cols[1]);  // sorted
+}
+
+TEST(CsrMatrix, MultiplyLeftMatchesManualComputation) {
+    // M = [[0,2],[3,0]];  x = [1, 10];  x*M = [30, 2]
+    la::CsrBuilder b(2, 2);
+    b.add(0, 1, 2.0);
+    b.add(1, 0, 3.0);
+    const la::CsrMatrix m = b.build();
+    std::vector<double> x{1.0, 10.0};
+    std::vector<double> y(2, 0.0);
+    m.multiply_left(x, y);
+    EXPECT_DOUBLE_EQ(y[0], 30.0);
+    EXPECT_DOUBLE_EQ(y[1], 2.0);
+}
+
+TEST(CsrMatrix, MultiplyRightMatchesManualComputation) {
+    la::CsrBuilder b(2, 2);
+    b.add(0, 1, 2.0);
+    b.add(1, 0, 3.0);
+    const la::CsrMatrix m = b.build();
+    std::vector<double> x{1.0, 10.0};
+    std::vector<double> y(2, 0.0);
+    m.multiply_right(x, y);  // M*x = [20, 3]
+    EXPECT_DOUBLE_EQ(y[0], 20.0);
+    EXPECT_DOUBLE_EQ(y[1], 3.0);
+}
+
+TEST(CsrMatrix, TransposeRoundTrips) {
+    la::CsrBuilder b(2, 3);
+    b.add(0, 2, 5.0);
+    b.add(1, 1, 7.0);
+    const la::CsrMatrix m = b.build();
+    const la::CsrMatrix t = m.transposed();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 2u);
+    EXPECT_DOUBLE_EQ(t.at(2, 0), 5.0);
+    EXPECT_DOUBLE_EQ(t.at(1, 1), 7.0);
+    const la::CsrMatrix tt = t.transposed();
+    EXPECT_DOUBLE_EQ(tt.at(0, 2), 5.0);
+    EXPECT_EQ(tt.nonzeros(), m.nonzeros());
+}
+
+TEST(CsrMatrix, RowSumAndOutOfRangeGuard) {
+    la::CsrBuilder b(2, 2);
+    b.add(0, 0, 1.0);
+    b.add(0, 1, 2.0);
+    const la::CsrMatrix m = b.build();
+    EXPECT_DOUBLE_EQ(m.row_sum(0), 3.0);
+    EXPECT_DOUBLE_EQ(m.row_sum(1), 0.0);
+}
+
+TEST(VectorOps, DistancesAndDot) {
+    std::vector<double> a{1.0, 2.0, 3.0};
+    std::vector<double> b{1.5, 2.0, 2.0};
+    EXPECT_DOUBLE_EQ(la::l1_distance(a, b), 1.5);
+    EXPECT_DOUBLE_EQ(la::linf_distance(a, b), 1.0);
+    EXPECT_DOUBLE_EQ(la::dot(a, b), 1.5 + 4.0 + 6.0);
+    EXPECT_DOUBLE_EQ(la::sum(a), 6.0);
+}
+
+TEST(VectorOps, NormalizeAndGuard) {
+    std::vector<double> v{1.0, 3.0};
+    la::normalize(v);
+    EXPECT_DOUBLE_EQ(v[0], 0.25);
+    EXPECT_DOUBLE_EQ(v[1], 0.75);
+    std::vector<double> zero{0.0, 0.0};
+    EXPECT_THROW(la::normalize(zero), arcade::ModelError);
+}
+
+TEST(VectorOps, Axpy) {
+    std::vector<double> x{1.0, 2.0};
+    std::vector<double> y{10.0, 20.0};
+    la::axpy(0.5, x, y);
+    EXPECT_DOUBLE_EQ(y[0], 10.5);
+    EXPECT_DOUBLE_EQ(y[1], 21.0);
+}

@@ -1,0 +1,111 @@
+// Unit tests: the measures layer — guards, combination rules, steady-state
+// cost, and property-style sweeps over strategies.
+#include <gtest/gtest.h>
+
+#include "arcade/compiler.hpp"
+#include "arcade/measures.hpp"
+#include "support/errors.hpp"
+#include "support/series.hpp"
+#include "watertree/watertree.hpp"
+
+namespace core = arcade::core;
+namespace wt = arcade::watertree;
+
+TEST(Measures, CombinedAvailabilityInclusionExclusion) {
+    EXPECT_DOUBLE_EQ(core::combined_availability(0.5, 0.5), 0.75);
+    EXPECT_DOUBLE_EQ(core::combined_availability(1.0, 0.3), 1.0);
+    EXPECT_DOUBLE_EQ(core::combined_availability(0.0, 0.3), 0.3);
+}
+
+TEST(Measures, ReliabilityRefusesRepairableModels) {
+    core::ModelBuilder builder("guard");
+    builder.add_redundant_phase("c", 1, 10, 1);
+    builder.with_repair(core::RepairPolicy::Dedicated);
+    const auto compiled = core::compile(builder.build());
+    const std::vector<double> times{0.0, 1.0};
+    EXPECT_THROW(core::reliability_series(compiled, times), arcade::ModelError);
+}
+
+TEST(Measures, SteadyStateCostOfDedicatedLineIsAnalytic) {
+    // DED: components independent; crews idle exactly when their component
+    // is up.  E[cost] = sum_c (3 * P(down_c) + 1 * P(up_c)).
+    const auto model = wt::line2(wt::paper_strategies()[0]);
+    core::CompileOptions lumped;
+    lumped.encoding = core::Encoding::Lumped;
+    const auto compiled = core::compile(model, lumped);
+    double expected = 0.0;
+    for (const auto& c : model.components) {
+        const double p_down = c.mttr / (c.mttf + c.mttr);
+        expected += 3.0 * p_down + 1.0 * (1.0 - p_down);
+    }
+    EXPECT_NEAR(core::steady_state_cost(compiled), expected, 1e-8);
+}
+
+TEST(Measures, SurvivabilityAtServiceZeroIsImmediate) {
+    // Every state has service >= 0, so recovery to level 0 is instant.
+    const auto compiled = core::compile(wt::line2(wt::paper_strategies()[1]));
+    const auto disaster = wt::disaster2();
+    EXPECT_NEAR(core::survivability(compiled, disaster, 0.0, 0.0), 1.0, 1e-12);
+}
+
+// Property sweep over all strategies: basic sanity bounds that must hold
+// for ANY correct implementation.
+class StrategySweep : public ::testing::TestWithParam<const char*> {
+protected:
+    [[nodiscard]] static wt::Strategy strategy(const std::string& name) {
+        for (const auto& s : wt::paper_strategies()) {
+            if (s.name == name) return s;
+        }
+        throw std::runtime_error("unknown");
+    }
+};
+
+TEST_P(StrategySweep, AvailabilityIsAProbability) {
+    core::CompileOptions lumped;
+    lumped.encoding = core::Encoding::Lumped;
+    const auto compiled = core::compile(wt::line2(strategy(GetParam())), lumped);
+    const double a = core::availability(compiled);
+    EXPECT_GT(a, 0.0);
+    EXPECT_LT(a, 1.0);
+}
+
+TEST_P(StrategySweep, SurvivabilityMonotoneInTimeAndAntitoneInLevel) {
+    core::CompileOptions lumped;
+    lumped.encoding = core::Encoding::Lumped;
+    const auto compiled = core::compile(wt::line2(strategy(GetParam())), lumped);
+    const auto disaster = wt::disaster2();
+    const auto times = arcade::time_grid(60.0, 7);
+    double prev_level_value = 1.0;
+    for (double x : wt::service_interval_bounds(compiled.model())) {
+        const auto curve = core::survivability_series(compiled, disaster, x, times);
+        for (std::size_t i = 1; i < curve.size(); ++i) {
+            EXPECT_GE(curve[i] + 1e-12, curve[i - 1]) << x;
+            EXPECT_GE(curve[i], -1e-12);
+            EXPECT_LE(curve[i], 1.0 + 1e-12);
+        }
+        // higher level is harder to reach by the same deadline
+        EXPECT_LE(curve.back(), prev_level_value + 1e-9) << x;
+        prev_level_value = curve.back();
+    }
+}
+
+TEST_P(StrategySweep, AccumulatedCostIsNondecreasingAndBounded) {
+    core::CompileOptions lumped;
+    lumped.encoding = core::Encoding::Lumped;
+    const auto compiled = core::compile(wt::line2(strategy(GetParam())), lumped);
+    const auto disaster = wt::disaster2();
+    const auto times = arcade::time_grid(50.0, 6);
+    const auto acc = core::accumulated_cost_series(compiled, disaster, times);
+    const auto inst = core::instantaneous_cost_series(compiled, disaster, times);
+    double max_rate = 0.0;
+    for (double r : compiled.cost_reward().state_rates()) max_rate = std::max(max_rate, r);
+    for (std::size_t i = 1; i < acc.size(); ++i) {
+        EXPECT_GE(acc[i] + 1e-9, acc[i - 1]);
+        // accumulated cost can never exceed max rate * time
+        EXPECT_LE(acc[i], max_rate * times[i] + 1e-6);
+        EXPECT_GE(inst[i], 0.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, StrategySweep,
+                         ::testing::Values("DED", "FRF-1", "FRF-2", "FFF-1", "FFF-2"));

@@ -1,0 +1,126 @@
+// Unit tests: Fox–Glynn Poisson weights and the iterative linear solvers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/csr_matrix.hpp"
+#include "numeric/fox_glynn.hpp"
+#include "numeric/linear_solvers.hpp"
+
+namespace num = arcade::numeric;
+namespace la = arcade::linalg;
+
+TEST(FoxGlynn, DegenerateAtZeroRate) {
+    const auto w = num::fox_glynn(0.0, 1e-12);
+    EXPECT_EQ(w.left, 0u);
+    EXPECT_EQ(w.right, 0u);
+    EXPECT_DOUBLE_EQ(w.weight(0), 1.0);
+}
+
+// Property sweep: weights match the exact pmf and sum to ~1 across many rates.
+class FoxGlynnSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FoxGlynnSweep, WeightsMatchExactPmf) {
+    const double q = GetParam();
+    const auto w = num::fox_glynn(q, 1e-12);
+    double total = 0.0;
+    for (std::size_t k = w.left; k <= w.right; ++k) {
+        const double exact = num::poisson_pmf(q, k);
+        EXPECT_NEAR(w.weight(k), exact, 1e-12 + 1e-9 * exact) << "q=" << q << " k=" << k;
+        total += w.weight(k);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+    // window covers the requested mass
+    EXPECT_GE(w.total_before_norm, 1.0 - 1e-10);
+}
+
+TEST_P(FoxGlynnSweep, WindowContainsTheMode) {
+    const double q = GetParam();
+    const auto w = num::fox_glynn(q, 1e-12);
+    const std::size_t mode = static_cast<std::size_t>(q);
+    EXPECT_LE(w.left, mode);
+    EXPECT_GE(w.right, mode);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, FoxGlynnSweep,
+                         ::testing::Values(0.01, 0.5, 1.0, 4.2, 25.0, 100.0, 1000.0, 10000.0));
+
+TEST(PoissonPmf, MatchesDirectFormulaForSmallK) {
+    EXPECT_NEAR(num::poisson_pmf(2.0, 0), std::exp(-2.0), 1e-15);
+    EXPECT_NEAR(num::poisson_pmf(2.0, 1), 2.0 * std::exp(-2.0), 1e-15);
+    EXPECT_NEAR(num::poisson_pmf(2.0, 2), 2.0 * std::exp(-2.0), 1e-15);
+}
+
+TEST(PoissonPmf, NoUnderflowAtLargeRate) {
+    // Naive e^-q * q^k/k! underflows at q=2000; the log form must not.
+    const double p = num::poisson_pmf(2000.0, 2000);
+    EXPECT_GT(p, 0.0);
+    EXPECT_NEAR(p, 1.0 / std::sqrt(2 * M_PI * 2000.0), 1e-5);  // Stirling
+}
+
+namespace {
+
+/// Two-state availability chain: fail rate l, repair rate m.
+la::CsrMatrix two_state(double l, double m) {
+    la::CsrBuilder b(2, 2);
+    b.add(0, 1, l);
+    b.add(1, 0, m);
+    return b.build();
+}
+
+}  // namespace
+
+TEST(SteadyStateSolvers, TwoStateClosedForm) {
+    const double l = 1.0 / 500.0;
+    const double m = 1.0;
+    const auto rates = two_state(l, m);
+    std::vector<double> pi(2, 0.0);
+    num::steady_state_gauss_seidel(rates, pi);
+    EXPECT_NEAR(pi[0], m / (l + m), 1e-10);
+    EXPECT_NEAR(pi[1], l / (l + m), 1e-10);
+
+    std::vector<double> pi2(2, 0.0);
+    num::steady_state_power(rates, pi2);
+    EXPECT_NEAR(pi2[0], m / (l + m), 1e-8);
+}
+
+TEST(SteadyStateSolvers, BirthDeathChainClosedForm) {
+    // M/M/1/4 queue: arrival 1, service 2 => pi_k ~ (1/2)^k.
+    const int n = 5;
+    la::CsrBuilder b(n, n);
+    for (int i = 0; i + 1 < n; ++i) {
+        b.add(i, i + 1, 1.0);
+        b.add(i + 1, i, 2.0);
+    }
+    std::vector<double> pi(n, 0.0);
+    num::steady_state_gauss_seidel(b.build(), pi);
+    double norm = 0.0;
+    for (int k = 0; k < n; ++k) norm += std::pow(0.5, k);
+    for (int k = 0; k < n; ++k) {
+        EXPECT_NEAR(pi[k], std::pow(0.5, k) / norm, 1e-10) << "k=" << k;
+    }
+}
+
+TEST(FixpointSolver, SolvesGamblersRuin) {
+    // x_i = 0.5 x_{i-1} + 0.5 x_{i+1}, absorbing at 0 (loss) and 3 (win);
+    // b contributes the win transition: from state index i in {1,2}
+    // (interior), P(win) = i/3.
+    la::CsrBuilder a(2, 2);     // interior states 1,2 -> local 0,1
+    a.add(0, 1, 0.5);           // 1 -> 2
+    a.add(1, 0, 0.5);           // 2 -> 1
+    std::vector<double> b{0.0, 0.5};  // 2 -> win
+    std::vector<double> x(2, 0.0);
+    num::fixpoint_gauss_seidel(a.build(), b, x);
+    EXPECT_NEAR(x[0], 1.0 / 3.0, 1e-10);
+    EXPECT_NEAR(x[1], 2.0 / 3.0, 1e-10);
+}
+
+TEST(FixpointSolver, HandlesDiagonalEntries) {
+    // x = 0.5 x + 0.25  =>  x = 0.5
+    la::CsrBuilder a(1, 1);
+    a.add(0, 0, 0.5);
+    std::vector<double> b{0.25};
+    std::vector<double> x(1, 0.0);
+    num::fixpoint_gauss_seidel(a.build(), b, x);
+    EXPECT_NEAR(x[0], 0.5, 1e-12);
+}

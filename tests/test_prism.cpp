@@ -1,0 +1,161 @@
+// Unit tests: PRISM-language parser and writer (round trip).
+#include <gtest/gtest.h>
+
+#include "ctmc/steady_state.hpp"
+#include "modules/explorer.hpp"
+#include "prism/prism_parser.hpp"
+#include "prism/prism_writer.hpp"
+#include "support/errors.hpp"
+
+namespace prism = arcade::prism;
+namespace modules = arcade::modules;
+
+namespace {
+
+const char* kTwoComponentModel = R"(
+// availability model with shared repair
+ctmc
+
+const double lambda = 1/100;
+const double mu = 0.5;
+const int N = 2;
+
+formula both_up = x=0 & y=0;
+
+module comp_x
+  x : [0..1] init 0;
+  [] x=0 -> lambda : (x'=1);
+  [] x=1 -> mu : (x'=0);
+endmodule
+
+module comp_y
+  y : [0..1] init 0;
+  [] y=0 -> 2*lambda : (y'=1);
+  [] y=1 -> mu : (y'=0);
+endmodule
+
+label "up" = both_up;
+label "deg" = x+y = 1;
+
+rewards "downtime"
+  !both_up : 1;
+endrewards
+)";
+
+}  // namespace
+
+TEST(PrismParser, ParsesConstantsFormulasModulesLabelsRewards) {
+    const auto sys = prism::parse_prism(kTwoComponentModel);
+    EXPECT_EQ(sys.modules.size(), 2u);
+    EXPECT_EQ(sys.constants.size(), 3u);
+    EXPECT_NEAR(sys.constants.at("lambda").as_double(), 0.01, 1e-15);
+    EXPECT_EQ(sys.constants.at("N").as_int(), 2);
+    EXPECT_EQ(sys.labels.size(), 2u);
+    EXPECT_EQ(sys.rewards.size(), 1u);
+
+    const auto explored = modules::explore(sys);
+    EXPECT_EQ(explored.chain.state_count(), 4u);
+    EXPECT_EQ(explored.chain.transition_count(), 8u);
+    // closed-form availability of the two independent components
+    const double ax = 0.5 / (0.5 + 0.01);
+    const double ay = 0.5 / (0.5 + 0.02);
+    EXPECT_NEAR(arcade::ctmc::steady_state_probability(explored.chain,
+                                                       explored.chain.label("up")),
+                ax * ay, 1e-9);
+}
+
+TEST(PrismParser, SynchronisedActions) {
+    const char* text = R"(
+ctmc
+module a
+  x : [0..1] init 0;
+  [tick] x=0 -> 2 : (x'=1);
+endmodule
+module b
+  y : [0..1] init 0;
+  [tick] y=0 -> 3 : (y'=1);
+endmodule
+)";
+    const auto explored = modules::explore(prism::parse_prism(text));
+    EXPECT_EQ(explored.chain.state_count(), 2u);
+    EXPECT_NEAR(explored.chain.rates().at(0, 1), 6.0, 1e-12);
+}
+
+TEST(PrismParser, BoolVariablesAndTrueUpdates) {
+    const char* text = R"(
+ctmc
+module m
+  b : bool init false;
+  [] !b -> 1.5 : (b'=true);
+  [] b -> 1 : true;
+endmodule
+)";
+    const auto explored = modules::explore(prism::parse_prism(text));
+    EXPECT_EQ(explored.chain.state_count(), 2u);
+    // "true" update is a rate self-loop, dropped in the CTMC
+    EXPECT_EQ(explored.chain.transition_count(), 1u);
+}
+
+TEST(PrismParser, ProbabilisticAlternativesWithPlus) {
+    const char* text = R"(
+ctmc
+module m
+  x : [0..2] init 0;
+  [] x=0 -> 1 : (x'=1) + 3 : (x'=2);
+endmodule
+)";
+    const auto explored = modules::explore(prism::parse_prism(text));
+    EXPECT_NEAR(explored.chain.rates().at(0, 1), 1.0, 1e-12);
+    EXPECT_NEAR(explored.chain.rates().at(0, 2), 3.0, 1e-12);
+}
+
+TEST(PrismParser, MalformedInputsAreParseErrors) {
+    // missing semicolon after the init clause
+    EXPECT_THROW(prism::parse_prism("ctmc\nmodule m\n  x : [0..1] init 0\nendmodule\n"),
+                 arcade::ParseError);
+    EXPECT_THROW(prism::parse_prism("dtmc\n"), arcade::ParseError);      // wrong model type
+    EXPECT_THROW(prism::parse_prism("ctmc\nmodule m\n"), arcade::ParseError);  // unterminated
+    // unterminated label string
+    EXPECT_THROW(prism::parse_prism("ctmc\nlabel \"up = true;\n"), arcade::ParseError);
+}
+
+TEST(PrismParser, MissingSemicolonErrorsMentionLocation) {
+    try {
+        prism::parse_prism("ctmc\nmodule m\n  x : [0..1] init 0\nendmodule\n");
+        FAIL() << "expected ParseError";
+    } catch (const arcade::ParseError& e) {
+        EXPECT_NE(std::string(e.what()).find("line"), std::string::npos);
+    }
+}
+
+TEST(PrismWriter, RoundTripPreservesSemantics) {
+    const auto sys = prism::parse_prism(kTwoComponentModel);
+    const std::string text = prism::write_prism(sys);
+    const auto sys2 = prism::parse_prism(text);
+    const auto a = modules::explore(sys);
+    const auto b = modules::explore(sys2);
+    ASSERT_EQ(a.chain.state_count(), b.chain.state_count());
+    ASSERT_EQ(a.chain.transition_count(), b.chain.transition_count());
+    EXPECT_NEAR(arcade::ctmc::steady_state_probability(a.chain, a.chain.label("up")),
+                arcade::ctmc::steady_state_probability(b.chain, b.chain.label("up")),
+                1e-10);
+    // rewards survive the round trip
+    EXPECT_EQ(b.reward_structures.count("downtime"), 1u);
+}
+
+TEST(PrismWriter, EmitsParsableGuardsWithArrowsAndMinus) {
+    // guards containing '-' and nested parens must survive
+    const char* text = R"(
+ctmc
+const int N = 3;
+module m
+  x : [0..3] init 0;
+  [] x < N - 1 -> 1 : (x'=x+1);
+  [] x > 0 -> 2 : (x'=x-1);
+endmodule
+)";
+    const auto sys = prism::parse_prism(text);
+    const auto sys2 = prism::parse_prism(prism::write_prism(sys));
+    EXPECT_EQ(modules::explore(sys).chain.state_count(),
+              modules::explore(sys2).chain.state_count());
+}

@@ -1,0 +1,117 @@
+// Parameterised property tests: invariants that must hold across whole
+// parameter families, not just the case-study values.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arcade/compiler.hpp"
+#include "arcade/measures.hpp"
+#include "support/series.hpp"
+
+namespace core = arcade::core;
+
+namespace {
+
+struct Params {
+    double mttf;
+    double mttr;
+};
+
+core::ArcadeModel redundant_pair(const Params& p, core::RepairPolicy policy,
+                                 std::size_t crews) {
+    core::ModelBuilder b("prop");
+    b.add_redundant_phase("a", 2, p.mttf, p.mttr);
+    b.add_redundant_phase("b", 1, p.mttf * 3.0, p.mttr * 0.5);
+    b.with_repair(policy, crews);
+    return b.build();
+}
+
+}  // namespace
+
+class RateSweep : public ::testing::TestWithParam<Params> {};
+
+TEST_P(RateSweep, DedicatedAvailabilityEqualsProductForm) {
+    const Params p = GetParam();
+    const auto compiled = core::compile(redundant_pair(p, core::RepairPolicy::Dedicated, 1));
+    const double a1 = p.mttf / (p.mttf + p.mttr);
+    const double a2 = (3.0 * p.mttf) / (3.0 * p.mttf + 0.5 * p.mttr);
+    EXPECT_NEAR(core::availability(compiled), a1 * a1 * a2, 1e-9);
+}
+
+TEST_P(RateSweep, DedicatedDominatesSharedCrewAndMoreCrewsHelp) {
+    const Params p = GetParam();
+    const double ded =
+        core::availability(core::compile(redundant_pair(p, core::RepairPolicy::Dedicated, 1)));
+    const double frf1 = core::availability(
+        core::compile(redundant_pair(p, core::RepairPolicy::FastestRepairFirst, 1)));
+    const double frf2 = core::availability(
+        core::compile(redundant_pair(p, core::RepairPolicy::FastestRepairFirst, 2)));
+    EXPECT_LE(frf1, ded + 1e-9);
+    EXPECT_LE(frf2, ded + 1e-9);
+    EXPECT_GE(frf2 + 1e-9, frf1);
+}
+
+TEST_P(RateSweep, AllPoliciesAgreeOnFullyDedicatedWorkload) {
+    // With as many crews as components, every queueing policy behaves like
+    // dedicated repair (no contention): the availabilities coincide.
+    const Params p = GetParam();
+    const double ded =
+        core::availability(core::compile(redundant_pair(p, core::RepairPolicy::Dedicated, 1)));
+    for (auto policy : {core::RepairPolicy::FastestRepairFirst,
+                        core::RepairPolicy::FastestFailureFirst}) {
+        const double shared =
+            core::availability(core::compile(redundant_pair(p, policy, 3)));
+        EXPECT_NEAR(shared, ded, 5e-4) << core::to_string(policy);
+    }
+}
+
+TEST_P(RateSweep, ReliabilityEqualsNoRepairClosedForm) {
+    const Params p = GetParam();
+    const auto stripped =
+        core::compile(core::without_repair(redundant_pair(p, core::RepairPolicy::Dedicated, 1)));
+    const double t = p.mttf / 4.0;
+    const std::vector<double> times{0.0, t};
+    const double measured = core::reliability_series(stripped, times).back();
+    const double expected =
+        std::exp(-2.0 * t / p.mttf) * std::exp(-t / (3.0 * p.mttf));
+    EXPECT_NEAR(measured, expected, 1e-9);
+}
+
+TEST_P(RateSweep, LumpedAndIndividualEncodingsAgree) {
+    const Params p = GetParam();
+    const auto model = redundant_pair(p, core::RepairPolicy::FastestFailureFirst, 1);
+    core::CompileOptions lumped;
+    lumped.encoding = core::Encoding::Lumped;
+    EXPECT_NEAR(core::availability(core::compile(model)),
+                core::availability(core::compile(model, lumped)), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, RateSweep,
+                         ::testing::Values(Params{100.0, 1.0}, Params{100.0, 10.0},
+                                           Params{1000.0, 50.0}, Params{10.0, 0.1},
+                                           Params{500.0, 100.0}));
+
+class CrewSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CrewSweep, MoreCrewsNeverHurtAvailabilityOrRecovery) {
+    const std::size_t crews = GetParam();
+    core::ModelBuilder b("crews");
+    b.add_redundant_phase("x", 3, 200.0, 10.0);
+    b.add_spare_phase("y", 3, 2, 100.0, 5.0);
+    b.with_repair(core::RepairPolicy::FastestRepairFirst, crews);
+    const auto now = core::compile(b.build());
+
+    core::ModelBuilder b2("crews+1");
+    b2.add_redundant_phase("x", 3, 200.0, 10.0);
+    b2.add_spare_phase("y", 3, 2, 100.0, 5.0);
+    b2.with_repair(core::RepairPolicy::FastestRepairFirst, crews + 1);
+    const auto more = core::compile(b2.build());
+
+    EXPECT_GE(core::availability(more) + 1e-9, core::availability(now));
+
+    core::Disaster d{"hit", {2, 2}};
+    EXPECT_GE(core::survivability(more, d, 1.0, 30.0) + 1e-9,
+              core::survivability(now, d, 1.0, 30.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Crews, CrewSweep, ::testing::Values(1u, 2u, 3u));

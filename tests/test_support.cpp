@@ -1,0 +1,69 @@
+// Unit tests: string utilities and table/series output.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/series.hpp"
+#include "support/strings.hpp"
+
+namespace arc = arcade;
+
+TEST(Strings, SplitKeepsEmptyFields) {
+    const auto parts = arc::split("a,,b,", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(parts[2], "b");
+    EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, TrimAndStartsWith) {
+    EXPECT_EQ(arc::trim("  x y \t\n"), "x y");
+    EXPECT_EQ(arc::trim(""), "");
+    EXPECT_EQ(arc::trim("   "), "");
+    EXPECT_TRUE(arc::starts_with("hello", "he"));
+    EXPECT_FALSE(arc::starts_with("he", "hello"));
+}
+
+TEST(Strings, JoinAndLower) {
+    EXPECT_EQ(arc::join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(arc::join({}, ","), "");
+    EXPECT_EQ(arc::to_lower("MiXeD"), "mixed");
+}
+
+TEST(Strings, FormatDoubleRoundTrips) {
+    for (double v : {0.0, 1.0, 0.1, 1.0 / 3.0, 1e-12, 12345.6789, -2.5e17}) {
+        const std::string text = arc::format_double(v);
+        EXPECT_DOUBLE_EQ(std::stod(text), v) << text;
+    }
+}
+
+TEST(Series, TimeGridEndpoints) {
+    const auto grid = arc::time_grid(10.0, 5);
+    ASSERT_EQ(grid.size(), 5u);
+    EXPECT_DOUBLE_EQ(grid.front(), 0.0);
+    EXPECT_DOUBLE_EQ(grid.back(), 10.0);
+    EXPECT_DOUBLE_EQ(grid[1], 2.5);
+}
+
+TEST(Series, FigurePrintsHeaderAndRows) {
+    arc::Figure fig("test", "t", "y");
+    fig.set_times({0.0, 1.0});
+    fig.add_series("a", {0.5, 0.6});
+    std::ostringstream os;
+    fig.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("# test"), std::string::npos);
+    EXPECT_NE(out.find("0.5"), std::string::npos);
+    EXPECT_NE(out.find("\ta"), std::string::npos);
+}
+
+TEST(Series, TablePrintsAlignedColumns) {
+    arc::Table table({"name", "value"});
+    table.add_row({"x", "1"});
+    table.add_row({"longer", "2"});
+    std::ostringstream os;
+    table.print(os);
+    EXPECT_NE(os.str().find("longer"), std::string::npos);
+    EXPECT_EQ(table.rows(), 2u);
+}

@@ -1,0 +1,105 @@
+// Integration tests: the case study's state spaces against the paper's
+// Table 1 — the state counts must match EXACTLY (the encoding was
+// reverse-engineered from these numbers).
+#include <gtest/gtest.h>
+
+#include "arcade/compiler.hpp"
+#include "watertree/watertree.hpp"
+
+namespace wt = arcade::watertree;
+namespace core = arcade::core;
+
+namespace {
+
+struct Table1Row {
+    const char* strategy;
+    std::size_t line1_states;
+    std::size_t line2_states;
+};
+
+// Paper, Table 1 (states).
+const Table1Row kTable1[] = {
+    {"DED", 2048, 512},
+    {"FRF-1", 111809, 8129},
+    {"FRF-2", 111809, 8129},
+    {"FFF-1", 111809, 8129},
+    {"FFF-2", 111809, 8129},
+};
+
+const wt::Strategy& strategy_named(const std::string& name) {
+    static const auto all = wt::paper_strategies();
+    for (const auto& s : all) {
+        if (s.name == name) return s;
+    }
+    throw std::runtime_error("unknown strategy " + name);
+}
+
+}  // namespace
+
+TEST(WatertreeStateSpace, Line2MatchesTable1Exactly) {
+    for (const auto& row : kTable1) {
+        const auto model = wt::line2(strategy_named(row.strategy));
+        const auto compiled = core::compile(model);
+        EXPECT_EQ(compiled.state_count(), row.line2_states)
+            << "strategy " << row.strategy << " (line 2)";
+    }
+}
+
+TEST(WatertreeStateSpace, Line1MatchesTable1Exactly) {
+    for (const auto& row : kTable1) {
+        const auto model = wt::line1(strategy_named(row.strategy));
+        const auto compiled = core::compile(model);
+        EXPECT_EQ(compiled.state_count(), row.line1_states)
+            << "strategy " << row.strategy << " (line 1)";
+    }
+}
+
+TEST(WatertreeStateSpace, DedicatedTransitionCountsMatchTable1) {
+    // DED transitions: every component can fail or be repaired in every
+    // state: n * 2^n.  Paper: 22528 (line 1); line 2 prints 4606, which is
+    // 2 short of 9*512 — we take the analytic value as authoritative.
+    const auto ded = strategy_named("DED");
+    EXPECT_EQ(core::compile(wt::line1(ded)).transition_count(), 22528u);
+    EXPECT_EQ(core::compile(wt::line2(ded)).transition_count(), 4608u);
+}
+
+TEST(WatertreeStateSpace, SecondCrewAddsOneTransitionPerQueueingState) {
+    // Paper: FRF-2 has exactly 111797 (line 1) / 8119 (line 2) more
+    // transitions than FRF-1 — one extra repair transition in every state
+    // with a non-empty waiting queue.
+    const auto frf1_l2 = core::compile(wt::line2(strategy_named("FRF-1")));
+    const auto frf2_l2 = core::compile(wt::line2(strategy_named("FRF-2")));
+    EXPECT_EQ(frf2_l2.transition_count() - frf1_l2.transition_count(), 8119u);
+
+    const auto fff1_l2 = core::compile(wt::line2(strategy_named("FFF-1")));
+    const auto fff2_l2 = core::compile(wt::line2(strategy_named("FFF-2")));
+    EXPECT_EQ(fff2_l2.transition_count() - fff1_l2.transition_count(), 8119u);
+}
+
+TEST(WatertreeStateSpace, LumpedEncodingIsOrdersOfMagnitudeSmaller) {
+    core::CompileOptions lumped;
+    lumped.encoding = core::Encoding::Lumped;
+    const auto frf1 = core::compile(wt::line2(strategy_named("FRF-1")), lumped);
+    EXPECT_LT(frf1.state_count(), 1000u);
+    const auto ded = core::compile(wt::line2(strategy_named("DED")), lumped);
+    EXPECT_LT(ded.state_count(), 200u);
+}
+
+TEST(WatertreeStateSpace, ServiceIntervalsMatchPaper) {
+    const auto l1 = wt::line1(strategy_named("DED"));
+    const auto bounds1 = wt::service_interval_bounds(l1);
+    // Line 1: X1=[1/3,..), X2=[2/3,..), X3=[1,1]
+    ASSERT_EQ(bounds1.size(), 3u);
+    EXPECT_NEAR(bounds1[0], 1.0 / 3.0, 1e-12);
+    EXPECT_NEAR(bounds1[1], 2.0 / 3.0, 1e-12);
+    EXPECT_NEAR(bounds1[2], 1.0, 1e-12);
+
+    const auto l2 = wt::line2(strategy_named("DED"));
+    const auto bounds2 = wt::service_interval_bounds(l2);
+    // Line 2: X1=1/3, X2=1/2, X3=2/3, X4=1
+    ASSERT_EQ(bounds2.size(), 4u);
+    EXPECT_NEAR(bounds2[0], 1.0 / 3.0, 1e-12);
+    EXPECT_NEAR(bounds2[1], 1.0 / 2.0, 1e-12);
+    EXPECT_NEAR(bounds2[2], 2.0 / 3.0, 1e-12);
+    EXPECT_NEAR(bounds2[3], 1.0, 1e-12);
+}
