@@ -20,17 +20,17 @@ int main() {
             const auto model = std::string(line) == "line1"
                                    ? wt::line1(bench::strategy(name))
                                    : wt::line2(bench::strategy(name));
-            const auto individual = core::compile(model);
+            const auto individual = bench::compile_individual(model);
             const auto lumped = bench::compile_lumped(model);
-            const double ai = core::availability(individual);
-            const double al = core::availability(lumped);
+            const double ai = core::availability(bench::session(), individual);
+            const double al = core::availability(bench::session(), lumped);
             std::vector<std::string> cells;
             cells.emplace_back(std::string(line) + " " + name);
-            cells.emplace_back(std::to_string(individual.state_count()));
-            cells.emplace_back(std::to_string(lumped.state_count()));
+            cells.emplace_back(std::to_string(individual->state_count()));
+            cells.emplace_back(std::to_string(lumped->state_count()));
             std::snprintf(buf, sizeof buf, "%.1fx",
-                          static_cast<double>(individual.state_count()) /
-                              static_cast<double>(lumped.state_count()));
+                          static_cast<double>(individual->state_count()) /
+                              static_cast<double>(lumped->state_count()));
             cells.emplace_back(buf);
             std::snprintf(buf, sizeof buf, "%.7f", ai);
             cells.emplace_back(buf);

@@ -14,7 +14,7 @@ namespace wt = arcade::watertree;
 
 namespace {
 
-core::CompiledModel compile_variant(const char* policy_name, bool preemptive) {
+bench::ModelPtr compile_variant(const char* policy_name, bool preemptive) {
     auto strat = bench::strategy(policy_name);
     strat.preemptive = preemptive;
     strat.name += preemptive ? "-pre" : "";
@@ -34,13 +34,13 @@ int main() {
         const auto pre = compile_variant(name, true);
         std::vector<std::string> cells;
         cells.emplace_back(name);
-        std::snprintf(buf, sizeof buf, "%.7f", core::availability(np));
+        std::snprintf(buf, sizeof buf, "%.7f", core::availability(bench::session(), np));
         cells.emplace_back(buf);
-        std::snprintf(buf, sizeof buf, "%.7f", core::availability(pre));
+        std::snprintf(buf, sizeof buf, "%.7f", core::availability(bench::session(), pre));
         cells.emplace_back(buf);
-        std::snprintf(buf, sizeof buf, "%.5f", core::survivability(np, disaster, 1.0, 10.0));
+        std::snprintf(buf, sizeof buf, "%.5f", core::survivability(*np, disaster, 1.0, 10.0));
         cells.emplace_back(buf);
-        std::snprintf(buf, sizeof buf, "%.5f", core::survivability(pre, disaster, 1.0, 10.0));
+        std::snprintf(buf, sizeof buf, "%.5f", core::survivability(*pre, disaster, 1.0, 10.0));
         cells.emplace_back(buf);
         table.add_row(std::move(cells));
     }
@@ -50,7 +50,7 @@ int main() {
               << [] {
                      auto strat = bench::strategy("FRF-1");
                      strat.preemptive = true;
-                     return core::compile(wt::line2(strat)).state_count();
+                     return bench::compile_individual(wt::line2(strat))->state_count();
                  }()
               << ")\n";
     return 0;

@@ -1,5 +1,10 @@
 // Shared helpers for the experiment harnesses (one binary per paper
 // table/figure; see DESIGN.md's experiment index).
+//
+// Every harness funnels its compilations through the process-wide
+// engine::AnalysisSession, so a figure looping over the five strategies
+// compiles each (line, strategy, encoding) once and the per-harness
+// summary line reports the cache effectiveness.
 #ifndef ARCADE_BENCH_COMMON_HPP
 #define ARCADE_BENCH_COMMON_HPP
 
@@ -9,26 +14,47 @@
 
 #include "arcade/compiler.hpp"
 #include "arcade/measures.hpp"
+#include "engine/session.hpp"
 #include "support/errors.hpp"
 #include "support/series.hpp"
 #include "watertree/watertree.hpp"
 
 namespace bench {
 
-inline const arcade::watertree::Strategy& strategy(const std::string& name) {
-    static const auto all = arcade::watertree::paper_strategies();
-    for (const auto& s : all) {
-        if (s.name == name) return s;
-    }
-    throw arcade::InvalidArgument("unknown strategy " + name);
+using ModelPtr = arcade::engine::AnalysisSession::CompiledPtr;
+
+inline arcade::engine::AnalysisSession& session() {
+    return arcade::engine::AnalysisSession::global();
 }
 
-/// Compiles with the lumped encoding (identical measures, far fewer states;
-/// the equivalence is asserted by the test suite).
-inline arcade::core::CompiledModel compile_lumped(const arcade::core::ArcadeModel& model) {
+inline const arcade::watertree::Strategy& strategy(const std::string& name) {
+    return arcade::watertree::strategy(name);
+}
+
+/// Session-cached compile with the paper's (individual) encoding.
+inline ModelPtr compile_individual(const arcade::core::ArcadeModel& model) {
+    return session().compile(model);
+}
+
+/// Session-cached compile with the lumped encoding (identical measures, far
+/// fewer states; the equivalence is asserted by the test suite).
+inline ModelPtr compile_lumped(const arcade::core::ArcadeModel& model) {
     arcade::core::CompileOptions options;
     options.encoding = arcade::core::Encoding::Lumped;
-    return arcade::core::compile(model, options);
+    return session().compile(model, options);
+}
+
+/// Transient options borrowing uniformisation scratch from the session pool.
+inline arcade::ctmc::TransientOptions transient() {
+    return arcade::core::session_transient(session());
+}
+
+/// One-line cache summary for the end of a harness run.
+inline void print_session_stats(std::ostream& os) {
+    const auto stats = session().stats();
+    os << "# session: " << stats.compile_misses << " compiles, " << stats.compile_hits
+       << " cache hits; " << stats.steady_state_misses << " steady-state solves, "
+       << stats.steady_state_hits << " reuses\n";
 }
 
 class Stopwatch {

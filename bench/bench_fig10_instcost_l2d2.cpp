@@ -18,10 +18,12 @@ int main() {
     fig.set_times(times);
     const auto disaster = wt::disaster2();
     for (const auto* name : {"FFF-1", "FFF-2", "FRF-1", "FRF-2"}) {
-        const auto model = bench::compile_lumped(wt::line2(bench::strategy(name)));
-        fig.add_series(name, core::instantaneous_cost_series(model, disaster, times));
+        const auto model = wt::compile_line(bench::session(), 2, bench::strategy(name),
+                                            core::Encoding::Lumped);
+        fig.add_series(name, core::instantaneous_cost_series(*model, disaster, times, bench::transient()));
     }
     fig.print(std::cout);
+    bench::print_session_stats(std::cout);
     std::cout << "# elapsed: " << watch.seconds() << " s\n";
     return 0;
 }

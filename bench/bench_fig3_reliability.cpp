@@ -19,10 +19,11 @@ int main() {
 
     arcade::Figure fig("Figure 3: reliability over time", "t in hours", "Probability (S)");
     fig.set_times(times);
-    fig.add_series("Reliability_line1", core::reliability_series(l1, times));
-    fig.add_series("Reliability_line2", core::reliability_series(l2, times));
+    fig.add_series("Reliability_line1", core::reliability_series(*l1, times, bench::transient()));
+    fig.add_series("Reliability_line2", core::reliability_series(*l2, times, bench::transient()));
     fig.print(std::cout);
     std::cout << "# paper check: line 2 must dominate line 1 for all t > 0\n";
+    bench::print_session_stats(std::cout);
     std::cout << "# elapsed: " << watch.seconds() << " s\n";
     return 0;
 }

@@ -18,11 +18,13 @@ int main() {
                        "t in hours", "Probability (S)");
     fig.set_times(times);
     for (const auto* name : {"DED", "FRF-1", "FRF-2"}) {
-        const auto model = bench::compile_lumped(wt::line1(bench::strategy(name)));
-        const auto disaster = wt::disaster1(model.model());
-        fig.add_series(name, core::survivability_series(model, disaster, x1, times));
+        const auto model = wt::compile_line(bench::session(), 1, bench::strategy(name),
+                                            core::Encoding::Lumped);
+        const auto disaster = wt::disaster1(model->model());
+        fig.add_series(name, core::survivability_series(*model, disaster, x1, times, bench::transient()));
     }
     fig.print(std::cout);
+    bench::print_session_stats(std::cout);
     std::cout << "# elapsed: " << watch.seconds() << " s\n";
     return 0;
 }

@@ -16,11 +16,13 @@ int main() {
                        "Cumulative costs (I)");
     fig.set_times(times);
     for (const auto* name : {"DED", "FRF-1", "FRF-2"}) {
-        const auto model = bench::compile_lumped(wt::line1(bench::strategy(name)));
-        const auto disaster = wt::disaster1(model.model());
-        fig.add_series(name, core::accumulated_cost_series(model, disaster, times));
+        const auto model = wt::compile_line(bench::session(), 1, bench::strategy(name),
+                                            core::Encoding::Lumped);
+        const auto disaster = wt::disaster1(model->model());
+        fig.add_series(name, core::accumulated_cost_series(*model, disaster, times, bench::transient()));
     }
     fig.print(std::cout);
+    bench::print_session_stats(std::cout);
     std::cout << "# elapsed: " << watch.seconds() << " s\n";
     return 0;
 }

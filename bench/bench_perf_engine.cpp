@@ -1,31 +1,37 @@
 // Engine micro-benchmarks (google-benchmark): the numerical kernels behind
-// every experiment — state-space construction, sparse matvec, Fox–Glynn,
+// every experiment — state-space construction on the packed store (serial
+// and sharded-parallel), session cache behaviour, sparse matvec, Fox–Glynn,
 // transient uniformisation, steady-state Gauss–Seidel, bounded until.
+//
+// Reports states/sec for construction and cache-hit counters for the
+// session benchmarks.  Unless --benchmark_out is given, results are also
+// written to BENCH_engine.json (the perf trajectory file).
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <tuple>
+#include <unordered_map>
+#include <string>
+#include <vector>
 
 #include "arcade/compiler.hpp"
 #include "arcade/measures.hpp"
 #include "ctmc/bounded_until.hpp"
 #include "ctmc/steady_state.hpp"
 #include "ctmc/transient.hpp"
+#include "engine/explore.hpp"
+#include "engine/session.hpp"
 #include "numeric/fox_glynn.hpp"
 #include "watertree/watertree.hpp"
 
 namespace core = arcade::core;
+namespace engine = arcade::engine;
 namespace wt = arcade::watertree;
 
 namespace {
 
-const wt::Strategy& strategy(const char* name) {
-    static const auto all = wt::paper_strategies();
-    for (const auto& s : all) {
-        if (s.name == name) return s;
-    }
-    std::abort();
-}
-
 const core::CompiledModel& line2_frf1() {
-    static const auto model = core::compile(wt::line2(strategy("FRF-1")));
+    static const auto model = core::compile(wt::line2(wt::strategy("FRF-1")));
     return model;
 }
 
@@ -33,26 +39,200 @@ const core::CompiledModel& line2_frf1_lumped() {
     static const auto model = [] {
         core::CompileOptions options;
         options.encoding = core::Encoding::Lumped;
-        return core::compile(wt::line2(strategy("FRF-1")), options);
+        return core::compile(wt::line2(wt::strategy("FRF-1")), options);
     }();
     return model;
 }
 
-void BM_StateSpaceLine2Individual(benchmark::State& state) {
-    const auto model = wt::line2(strategy("FRF-1"));
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(core::compile(model).state_count());
-    }
+void report_construction(benchmark::State& state, const core::CompiledModel& model) {
+    state.counters["states"] = static_cast<double>(model.state_count());
+    state.counters["states/s"] =
+        benchmark::Counter(static_cast<double>(model.state_count()),
+                           benchmark::Counter::kIsIterationInvariantRate);
+    state.counters["store_bytes"] = static_cast<double>(model.state_store().memory_bytes());
 }
-BENCHMARK(BM_StateSpaceLine2Individual)->Unit(benchmark::kMillisecond);
+
+void BM_StateSpaceLine2Individual(benchmark::State& state) {
+    const auto model = wt::line2(wt::strategy("FRF-1"));
+    core::CompileOptions options;
+    options.threads = static_cast<unsigned>(state.range(0));
+    const auto compiled = core::compile(model, options);  // counters only, untimed
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::compile(model, options).state_count());
+    }
+    report_construction(state, compiled);
+}
+BENCHMARK(BM_StateSpaceLine2Individual)
+    ->Arg(1)
+    ->Arg(2)
+    ->ArgName("threads")
+    ->Unit(benchmark::kMillisecond);
 
 void BM_StateSpaceLine1Individual(benchmark::State& state) {
-    const auto model = wt::line1(strategy("FRF-1"));
+    const auto model = wt::line1(wt::strategy("FRF-1"));
+    core::CompileOptions options;
+    options.threads = static_cast<unsigned>(state.range(0));
+    const auto compiled = core::compile(model, options);  // counters only, untimed
     for (auto _ : state) {
-        benchmark::DoNotOptimize(core::compile(model).state_count());
+        benchmark::DoNotOptimize(core::compile(model, options).state_count());
+    }
+    report_construction(state, compiled);
+}
+BENCHMARK(BM_StateSpaceLine1Individual)
+    ->Arg(1)
+    ->Arg(2)
+    ->ArgName("threads")
+    ->Unit(benchmark::kMillisecond);
+
+void BM_StateSpaceLine1Lumped(benchmark::State& state) {
+    const auto model = wt::line1(wt::strategy("FRF-1"));
+    core::CompileOptions options;
+    options.encoding = core::Encoding::Lumped;
+    const auto compiled = core::compile(model, options);  // counters only, untimed
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::compile(model, options).state_count());
+    }
+    report_construction(state, compiled);
+}
+BENCHMARK(BM_StateSpaceLine1Lumped)->Unit(benchmark::kMillisecond);
+
+/// Cold session: every iteration compiles for real (cache miss).
+void BM_SessionCompileCold(benchmark::State& state) {
+    const auto model = wt::line2(wt::strategy("FRF-1"));
+    for (auto _ : state) {
+        engine::AnalysisSession session;
+        benchmark::DoNotOptimize(session.compile(model)->state_count());
+    }
+    state.SetLabel("miss per iteration");
+}
+BENCHMARK(BM_SessionCompileCold)->Unit(benchmark::kMillisecond);
+
+/// Warm session: iterations after the first return the cached instance —
+/// this is the repeated-scenario path the figure benches take.
+void BM_SessionCompileCached(benchmark::State& state) {
+    engine::AnalysisSession session;
+    const auto model = wt::line2(wt::strategy("FRF-1"));
+    benchmark::DoNotOptimize(session.compile(model)->state_count());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(session.compile(model)->state_count());
+    }
+    const auto stats = session.stats();
+    state.counters["cache_hits"] = static_cast<double>(stats.compile_hits);
+    state.counters["cache_misses"] = static_cast<double>(stats.compile_misses);
+    state.counters["hits/s"] = benchmark::Counter(
+        static_cast<double>(stats.compile_hits), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SessionCompileCached);
+
+/// Cached steady-state: availability + long-run cost off one solve.
+void BM_SessionSteadyStateCached(benchmark::State& state) {
+    engine::AnalysisSession session;
+    core::CompileOptions lumped;
+    lumped.encoding = core::Encoding::Lumped;
+    const auto model = session.compile(wt::line2(wt::strategy("FRF-1")), lumped);
+    benchmark::DoNotOptimize(session.availability(model));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(session.availability(model));
+        benchmark::DoNotOptimize(session.steady_state_cost(model));
+    }
+    const auto stats = session.stats();
+    state.counters["steady_hits"] = static_cast<double>(stats.steady_state_hits);
+    state.counters["steady_solves"] = static_cast<double>(stats.steady_state_misses);
+}
+BENCHMARK(BM_SessionSteadyStateCached);
+
+// ---------------------------------------------------------------------------
+// Packed store vs the seed's vector-keyed interning, on an identical
+// synthetic workload (6-D torus walk, 7^6 = 117649 states): isolates the
+// state-storage data structure from model-specific successor costs.
+// ---------------------------------------------------------------------------
+
+constexpr std::int64_t kTorusDims = 6;
+constexpr std::int64_t kTorusSide = 7;
+
+template <typename Emit>
+void torus_successors(std::span<const std::int64_t> s, std::vector<std::int64_t>& buf,
+                      Emit&& emit) {
+    for (std::int64_t d = 0; d < kTorusDims; ++d) {
+        if (s[d] + 1 < kTorusSide) {
+            buf.assign(s.begin(), s.end());
+            ++buf[d];
+            emit(std::span<const std::int64_t>(buf), 1.0);
+        }
+        if (s[d] > 0) {
+            buf.assign(s.begin(), s.end());
+            --buf[d];
+            emit(std::span<const std::int64_t>(buf), 0.5);
+        }
     }
 }
-BENCHMARK(BM_StateSpaceLine1Individual)->Unit(benchmark::kMillisecond);
+
+void BM_ExploreTorusPackedStore(benchmark::State& state) {
+    const engine::StateLayout layout(
+        std::vector<engine::FieldSpec>(kTorusDims, {0, kTorusSide - 1}));
+    const std::vector<std::int64_t> initial(kTorusDims, 0);
+    std::size_t states = 0;
+    for (auto _ : state) {
+        auto result = engine::explore_bfs(
+            layout, initial,
+            [] {
+                return [buf = std::vector<std::int64_t>()](
+                           std::span<const std::int64_t> s, auto&& emit) mutable {
+                    torus_successors(s, buf, emit);
+                };
+            },
+            engine::EngineOptions{.max_states = 1'000'000, .threads = 1});
+        states = result.store.size();
+        benchmark::DoNotOptimize(states);
+    }
+    state.counters["states"] = static_cast<double>(states);
+    state.counters["states/s"] = benchmark::Counter(
+        static_cast<double>(states), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_ExploreTorusPackedStore)->Unit(benchmark::kMillisecond);
+
+/// The seed's storage scheme: std::unordered_map over heap-allocated
+/// std::vector valuations (FNV-1a), vector-of-vectors state list.
+void BM_ExploreTorusVectorMap(benchmark::State& state) {
+    struct VecHash {
+        std::size_t operator()(const std::vector<std::int64_t>& s) const noexcept {
+            std::size_t h = 1469598103934665603ull;
+            for (std::int64_t v : s) {
+                h ^= static_cast<std::size_t>(v) + 0x9e3779b97f4a7c15ull;
+                h *= 1099511628211ull;
+            }
+            return h;
+        }
+    };
+    const std::vector<std::int64_t> initial(kTorusDims, 0);
+    std::size_t states_count = 0;
+    for (auto _ : state) {
+        std::unordered_map<std::vector<std::int64_t>, std::size_t, VecHash> index;
+        std::vector<std::vector<std::int64_t>> states;
+        std::vector<std::tuple<std::size_t, std::size_t, double>> transitions;
+        index.emplace(initial, 0);
+        states.push_back(initial);
+        std::vector<std::int64_t> buf;
+        for (std::size_t si = 0; si < states.size(); ++si) {
+            const std::vector<std::int64_t> current = states[si];
+            torus_successors(current, buf,
+                             [&](std::span<const std::int64_t> target, double rate) {
+                                 std::vector<std::int64_t> key(target.begin(), target.end());
+                                 const auto [it, inserted] =
+                                     index.emplace(std::move(key), states.size());
+                                 if (inserted) states.push_back(it->first);
+                                 transitions.emplace_back(si, it->second, rate);
+                             });
+        }
+        states_count = states.size();
+        benchmark::DoNotOptimize(states_count);
+        benchmark::DoNotOptimize(transitions.data());
+    }
+    state.counters["states"] = static_cast<double>(states_count);
+    state.counters["states/s"] = benchmark::Counter(
+        static_cast<double>(states_count), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_ExploreTorusVectorMap)->Unit(benchmark::kMillisecond);
 
 void BM_FoxGlynn(benchmark::State& state) {
     const double q = static_cast<double>(state.range(0));
@@ -83,6 +263,22 @@ void BM_TransientLine2(benchmark::State& state) {
 }
 BENCHMARK(BM_TransientLine2)->Unit(benchmark::kMillisecond);
 
+/// Same transient solve, but scratch vectors come from a workspace pool.
+void BM_TransientLine2Pooled(benchmark::State& state) {
+    const auto& model = line2_frf1();
+    const auto init = model.chain().initial_distribution();
+    engine::WorkspacePool pool;
+    arcade::ctmc::TransientOptions options;
+    options.workspace = &pool;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            arcade::ctmc::transient_distribution(model.chain(), init, 10.0, options)
+                .front());
+    }
+    state.counters["scratch_reuses"] = static_cast<double>(pool.reuse_count());
+}
+BENCHMARK(BM_TransientLine2Pooled)->Unit(benchmark::kMillisecond);
+
 void BM_SteadyStateLine2(benchmark::State& state) {
     const auto& model = line2_frf1();
     for (auto _ : state) {
@@ -105,4 +301,27 @@ BENCHMARK(BM_SurvivabilityCurveLumped)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: default --benchmark_out=BENCH_engine.json so every run
+// contributes a machine-readable point to the perf trajectory.
+int main(int argc, char** argv) {
+    bool has_out = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0 ||
+            std::strcmp(argv[i], "--benchmark_out") == 0) {
+            has_out = true;
+        }
+    }
+    static char out_flag[] = "--benchmark_out=BENCH_engine.json";
+    static char fmt_flag[] = "--benchmark_out_format=json";
+    std::vector<char*> args(argv, argv + argc);
+    if (!has_out) {
+        args.push_back(out_flag);
+        args.push_back(fmt_flag);
+    }
+    int args_count = static_cast<int>(args.size());
+    benchmark::Initialize(&args_count, args.data());
+    if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -31,19 +31,19 @@ int main() {
     bench::Stopwatch watch;
     for (const auto& row : paper) {
         const auto& strat = bench::strategy(row.name);
-        const auto l1 = core::compile(wt::line1(strat));
-        const auto l2 = core::compile(wt::line2(strat));
+        const auto l1 = bench::compile_individual(wt::line1(strat));
+        const auto l2 = bench::compile_individual(wt::line2(strat));
         const auto l1_lumped = bench::compile_lumped(wt::line1(strat));
         const auto l2_lumped = bench::compile_lumped(wt::line2(strat));
         table.add_row({row.name,
-                       std::to_string(l1.state_count()) + " (" + std::to_string(row.s1) + ")",
-                       std::to_string(l1.transition_count()) + " (" + std::to_string(row.t1) +
+                       std::to_string(l1->state_count()) + " (" + std::to_string(row.s1) + ")",
+                       std::to_string(l1->transition_count()) + " (" + std::to_string(row.t1) +
                            ")",
-                       std::to_string(l2.state_count()) + " (" + std::to_string(row.s2) + ")",
-                       std::to_string(l2.transition_count()) + " (" + std::to_string(row.t2) +
+                       std::to_string(l2->state_count()) + " (" + std::to_string(row.s2) + ")",
+                       std::to_string(l2->transition_count()) + " (" + std::to_string(row.t2) +
                            ")",
-                       std::to_string(l1_lumped.state_count()),
-                       std::to_string(l2_lumped.state_count())});
+                       std::to_string(l1_lumped->state_count()),
+                       std::to_string(l2_lumped->state_count())});
     }
     table.print(std::cout);
     std::cout << "\nelapsed: " << watch.seconds() << " s\n";

@@ -32,8 +32,8 @@ int main() {
     char buf[128];
     for (const auto& row : paper) {
         const auto& strat = bench::strategy(row.name);
-        const double a1 = core::availability(bench::compile_lumped(wt::line1(strat)));
-        const double a2 = core::availability(bench::compile_lumped(wt::line2(strat)));
+        const double a1 = core::availability(bench::session(), bench::compile_lumped(wt::line1(strat)));
+        const double a2 = core::availability(bench::session(), bench::compile_lumped(wt::line2(strat)));
         const double combined = core::combined_availability(a1, a2);
         std::vector<std::string> cells;
         cells.emplace_back(row.name);
@@ -46,6 +46,7 @@ int main() {
         table.add_row(std::move(cells));
     }
     table.print(std::cout);
+    bench::print_session_stats(std::cout);
     std::cout << "\nelapsed: " << watch.seconds() << " s\n";
     return 0;
 }

@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "arcade/compiler.hpp"
+#include "engine/session.hpp"
 #include "arcade/measures.hpp"
 #include "arcade/types.hpp"
 
@@ -48,5 +49,13 @@ int main() {
     const std::vector<double> day{0.0, 24.0};
     std::cout << "E[cost over 24h | disaster]: "
               << core::accumulated_cost_series(compiled, disaster, day).back() << "\n";
+
+    // 7. The same model through an AnalysisSession: the second compile is a
+    //    cache hit returning the identical instance.
+    auto& session = arcade::engine::AnalysisSession::global();
+    const auto first = session.compile(model);
+    const auto second = session.compile(model);
+    std::cout << "session cache hit: " << (first.get() == second.get() ? "yes" : "no")
+              << " (availability " << core::availability(session, second) << ")\n";
     return 0;
 }

@@ -9,6 +9,7 @@
 
 #include "arcade/compiler.hpp"
 #include "arcade/measures.hpp"
+#include "engine/session.hpp"
 #include "support/series.hpp"
 
 namespace core = arcade::core;
@@ -29,6 +30,7 @@ core::ArcadeModel data_centre(core::RepairPolicy policy, std::size_t crews) {
 
 int main() {
     std::cout << "Repair-strategy comparison on a small data centre\n\n";
+    auto& session = arcade::engine::AnalysisSession::global();
 
     struct Candidate {
         const char* name;
@@ -53,18 +55,19 @@ int main() {
                          "E[cost 24h]", "SS cost/h"});
     char buf[64];
     for (const auto& c : candidates) {
-        const auto compiled = core::compile(data_centre(c.policy, c.crews));
-        std::vector<std::string> cells{c.name, std::to_string(compiled.state_count())};
-        std::snprintf(buf, sizeof buf, "%.6f", core::availability(compiled));
+        const auto compiled = session.compile(data_centre(c.policy, c.crews));
+        std::vector<std::string> cells{c.name, std::to_string(compiled->state_count())};
+        std::snprintf(buf, sizeof buf, "%.6f", core::availability(session, compiled));
         cells.emplace_back(buf);
         std::snprintf(buf, sizeof buf, "%.4f",
-                      core::survivability(compiled, disaster, 1.0, 12.0));
+                      core::survivability(*compiled, disaster, 1.0, 12.0));
         cells.emplace_back(buf);
         const std::vector<double> day{0.0, 24.0};
         std::snprintf(buf, sizeof buf, "%.2f",
-                      core::accumulated_cost_series(compiled, disaster, day).back());
+                      core::accumulated_cost_series(*compiled, disaster, day,
+                                    core::session_transient(session)).back());
         cells.emplace_back(buf);
-        std::snprintf(buf, sizeof buf, "%.3f", core::steady_state_cost(compiled));
+        std::snprintf(buf, sizeof buf, "%.3f", core::steady_state_cost(session, compiled));
         cells.emplace_back(buf);
         table.add_row(std::move(cells));
     }

@@ -6,6 +6,7 @@
 #include "arcade/compiler.hpp"
 #include "arcade/measures.hpp"
 #include "arcade/xml_io.hpp"
+#include "engine/session.hpp"
 #include "support/series.hpp"
 #include "watertree/watertree.hpp"
 
@@ -25,8 +26,9 @@ int main() {
 
     // Round-trip and analyse.
     const core::ArcadeModel model = core::model_from_xml(xml);
-    const auto compiled = core::compile(model);
-    std::cout << "\nmodel '" << model.name << "': " << compiled.state_count()
+    auto& session = arcade::engine::AnalysisSession::global();
+    const auto compiled = session.compile(model);
+    std::cout << "\nmodel '" << model.name << "': " << compiled->state_count()
               << " states after XML round-trip\n\n";
 
     const auto disaster = wt::disaster2();
@@ -36,7 +38,8 @@ int main() {
     fig.set_times(times);
     for (double x : wt::service_interval_bounds(model)) {
         fig.add_series("service>=" + std::to_string(x).substr(0, 4),
-                       core::survivability_series(compiled, disaster, x, times));
+                       core::survivability_series(*compiled, disaster, x, times,
+                                                  core::session_transient(session)));
     }
     fig.print(std::cout);
     return 0;

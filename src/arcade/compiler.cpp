@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "arcade/fault_tree.hpp"
+#include "engine/explore.hpp"
 #include "linalg/csr_matrix.hpp"
 #include "support/errors.hpp"
 
@@ -185,6 +186,22 @@ public:
         : model_(model), plan_(plan), n_(model.components.size()) {}
 
     [[nodiscard]] State initial() const { return State(2 * n_, 0); }
+
+    /// Bit-packing ranges: per-component status in [0,2] and FIFO rank in
+    /// [0, class size] (always 0 for dedicated/unrepaired components).
+    [[nodiscard]] std::vector<engine::FieldSpec> layout() const {
+        std::vector<engine::FieldSpec> fields(2 * n_, engine::FieldSpec{0, 0});
+        for (std::size_t c = 0; c < n_; ++c) {
+            fields[c] = engine::FieldSpec{0, 2};
+            const std::size_t ru = plan_.comps[c].ru;
+            if (ru != SIZE_MAX && plan_.rus[ru].kind == RuKind::Queue) {
+                const auto& cls = plan_.rus[ru].classes[plan_.comps[c].cls];
+                fields[n_ + c] =
+                    engine::FieldSpec{0, static_cast<std::int64_t>(cls.size())};
+            }
+        }
+        return fields;
+    }
 
     [[nodiscard]] std::int16_t status(const State& s, std::size_t c) const { return s[c]; }
     [[nodiscard]] std::int16_t rank(const State& s, std::size_t c) const { return s[n_ + c]; }
@@ -421,6 +438,21 @@ public:
 
     [[nodiscard]] State initial() const { return State(g_ + r_, 0); }
 
+    /// Bit-packing ranges: waiting counters in [0, group size]; tracked slot
+    /// in [0, G] for non-preemptive queue RUs, constant 0 otherwise.
+    [[nodiscard]] std::vector<engine::FieldSpec> layout() const {
+        std::vector<engine::FieldSpec> fields(g_ + r_, engine::FieldSpec{0, 0});
+        for (std::size_t g = 0; g < g_; ++g) {
+            fields[g] = engine::FieldSpec{0, static_cast<std::int64_t>(plan_.groups[g].size)};
+        }
+        for (std::size_t r = 0; r < r_; ++r) {
+            if (plan_.rus[r].kind == RuKind::Queue && !plan_.rus[r].preemptive) {
+                fields[g_ + r] = engine::FieldSpec{0, static_cast<std::int64_t>(g_)};
+            }
+        }
+        return fields;
+    }
+
     [[nodiscard]] std::int16_t wait(const State& s, std::size_t g) const { return s[g]; }
     [[nodiscard]] std::size_t tracked_group(const State& s, std::size_t r) const {
         return s[g_ + r] == 0 ? SIZE_MAX : static_cast<std::size_t>(s[g_ + r] - 1);
@@ -581,89 +613,100 @@ private:
     std::size_t r_;
 };
 
+/// Adapts an encoder (which works on int16 vectors) to the engine's int64
+/// worker interface.  One adapter per worker thread: the conversion buffers
+/// are worker-local, the encoder itself is shared immutable state.
 template <typename Encoder>
-CompiledModel run_compile(const ArcadeModel& model, const Plan& plan, Encoder encoder,
-                          Encoding encoding, const CompileOptions& options) {
-    CompiledModel::StateIndexMap index;
-    std::vector<const State*> states;
-    struct Transition {
-        std::size_t source;
-        std::size_t target;
-        double rate;
-    };
-    std::vector<Transition> transitions;
+class EncoderWorker {
+public:
+    explicit EncoderWorker(const Encoder& encoder, std::size_t fields)
+        : encoder_(encoder), current_(fields) {}
 
-    {
-        const auto [it, inserted] = index.emplace(encoder.initial(), 0);
-        states.push_back(&it->first);
-    }
-
-    for (std::size_t si = 0; si < states.size(); ++si) {
-        if (states.size() > options.max_states) {
-            throw ModelError("state-space explosion beyond " +
-                             std::to_string(options.max_states) + " states");
+    template <typename Emit>
+    void operator()(std::span<const std::int64_t> state, Emit&& emit) {
+        for (std::size_t i = 0; i < current_.size(); ++i) {
+            current_[i] = static_cast<std::int16_t>(state[i]);
         }
-        const State current = *states[si];
-        encoder.successors(current, [&](State&& target, double rate) {
+        encoder_.successors(current_, [&](State&& target, double rate) {
             ARCADE_ASSERT(rate > 0.0, "non-positive rate emitted");
-            const auto [it, inserted] = index.emplace(std::move(target), states.size());
-            if (inserted) states.push_back(&it->first);
-            transitions.push_back(Transition{si, it->second, rate});
+            emit(std::span<const std::int16_t>(target), rate);
         });
     }
 
-    linalg::CsrBuilder builder(states.size(), states.size());
-    for (const auto& t : transitions) {
+private:
+    const Encoder& encoder_;
+    State current_;
+};
+
+template <typename Encoder>
+CompiledModel run_compile(const ArcadeModel& model, const Plan& plan, Encoder encoder,
+                          Encoding encoding, const CompileOptions& options) {
+    (void)plan;
+    const engine::StateLayout layout(encoder.layout());
+    const State initial16 = encoder.initial();
+    const std::size_t fields = initial16.size();
+    std::vector<std::int64_t> initial(initial16.begin(), initial16.end());
+
+    engine::EngineOptions engine_options;
+    engine_options.max_states = options.max_states;
+    engine_options.threads = options.threads;
+    auto explored = engine::explore_bfs(
+        layout, initial, [&] { return EncoderWorker<Encoder>(encoder, fields); },
+        engine_options);
+    engine::StateStore store = std::move(explored.store);
+    const std::size_t n = store.size();
+
+    linalg::CsrBuilder builder(n, n);
+    for (const auto& t : explored.transitions) {
         if (t.source != t.target) builder.add(t.source, t.target, t.rate);
     }
-    std::vector<double> init(states.size(), 0.0);
+    std::vector<double> init(n, 0.0);
     init[0] = 1.0;
     ctmc::Ctmc chain(builder.build(), std::move(init));
 
-    std::vector<double> service(states.size());
-    std::vector<double> cost(states.size());
-    for (std::size_t s = 0; s < states.size(); ++s) {
-        service[s] = encoder.service(*states[s]);
-        cost[s] = encoder.cost_rate(*states[s]);
+    std::vector<double> service(n);
+    std::vector<double> cost(n);
+    {
+        State decoded(fields);
+        for (std::size_t s = 0; s < n; ++s) {
+            store.unpack(s, std::span<std::int16_t>(decoded));
+            service[s] = encoder.service(decoded);
+            cost[s] = encoder.cost_rate(decoded);
+        }
     }
 
     chain.set_label("operational", [&] {
-        std::vector<bool> bits(states.size());
-        for (std::size_t s = 0; s < states.size(); ++s) bits[s] = service[s] >= 1.0 - 1e-9;
+        std::vector<bool> bits(n);
+        for (std::size_t s = 0; s < n; ++s) bits[s] = service[s] >= 1.0 - 1e-9;
         return bits;
     }());
     chain.set_label("down", [&] {
-        std::vector<bool> bits(states.size());
-        for (std::size_t s = 0; s < states.size(); ++s) bits[s] = service[s] < 1.0 - 1e-9;
+        std::vector<bool> bits(n);
+        for (std::size_t s = 0; s < n; ++s) bits[s] = service[s] < 1.0 - 1e-9;
         return bits;
     }());
     chain.set_label("total_failure", [&] {
-        std::vector<bool> bits(states.size());
-        for (std::size_t s = 0; s < states.size(); ++s) bits[s] = service[s] <= 1e-9;
+        std::vector<bool> bits(n);
+        for (std::size_t s = 0; s < n; ++s) bits[s] = service[s] <= 1e-9;
         return bits;
     }());
 
     return CompiledModel(std::move(chain), std::move(service),
                          rewards::RewardStructure("cost", std::move(cost)), model,
-                         std::move(index), encoding);
+                         std::move(store), encoding);
 }
 
 }  // namespace
 
 CompiledModel::CompiledModel(ctmc::Ctmc chain, std::vector<double> service,
                              rewards::RewardStructure cost, ArcadeModel model,
-                             StateIndexMap state_index, Encoding encoding)
+                             engine::StateStore store, Encoding encoding)
     : chain_(std::move(chain)),
       service_(std::move(service)),
       cost_(std::move(cost)),
       model_(std::move(model)),
-      state_index_(std::move(state_index)),
-      encoding_(encoding) {
-    states_.resize(state_index_.size());
-    for (const auto& [state, idx] : state_index_) {
-        states_[idx] = &state;
-    }
-}
+      store_(std::move(store)),
+      encoding_(encoding) {}
 
 std::vector<bool> CompiledModel::service_at_least(double x) const {
     std::vector<bool> bits(service_.size());
@@ -680,11 +723,13 @@ std::vector<bool> CompiledModel::total_failure_states() const {
 }
 
 std::size_t CompiledModel::lookup(const std::vector<std::int16_t>& encoded) const {
-    const auto it = state_index_.find(encoded);
-    if (it == state_index_.end()) {
+    std::vector<std::uint64_t> packed(store_.layout().words_per_state());
+    store_.layout().pack(std::span<const std::int16_t>(encoded), packed.data());
+    const std::size_t index = store_.find(packed.data());
+    if (index == SIZE_MAX) {
         throw ModelError("encoded state is not reachable in the compiled model");
     }
-    return it->second;
+    return index;
 }
 
 std::size_t CompiledModel::disaster_state(const Disaster& disaster) const {
@@ -701,9 +746,11 @@ std::vector<double> CompiledModel::disaster_distribution(const Disaster& disaste
     return ctmc::Ctmc::point_distribution(state_count(), disaster_state(disaster));
 }
 
-const std::vector<std::int16_t>& CompiledModel::encoded_state(std::size_t index) const {
-    ARCADE_ASSERT(index < states_.size(), "state index out of range");
-    return *states_[index];
+std::vector<std::int16_t> CompiledModel::encoded_state(std::size_t index) const {
+    ARCADE_ASSERT(index < store_.size(), "state index out of range");
+    std::vector<std::int16_t> values(store_.layout().field_count());
+    store_.unpack(index, std::span<std::int16_t>(values));
+    return values;
 }
 
 CompiledModel compile(const ArcadeModel& model, const CompileOptions& options) {

@@ -22,32 +22,23 @@
 #define ARCADE_ARCADE_COMPILER_HPP
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "arcade/types.hpp"
 #include "ctmc/ctmc.hpp"
+#include "engine/state_store.hpp"
 #include "rewards/rewards.hpp"
 
 namespace arcade::core {
 
 enum class Encoding { Individual, Lumped };
 
-/// FNV-1a over an encoded state vector.
-struct EncodedStateHash {
-    std::size_t operator()(const std::vector<std::int16_t>& s) const noexcept {
-        std::size_t h = 1469598103934665603ull;
-        for (std::int16_t v : s) {
-            h ^= static_cast<std::size_t>(static_cast<std::uint16_t>(v)) + 0x9e3779b97f4a7c15ull;
-            h *= 1099511628211ull;
-        }
-        return h;
-    }
-};
-
 struct CompileOptions {
     Encoding encoding = Encoding::Individual;
     std::size_t max_states = 50'000'000;
+    /// Worker threads for the sharded exploration; 0 = hardware concurrency.
+    /// Any thread count produces the identical CTMC.
+    unsigned threads = 0;
 };
 
 /// A disaster for survivability analysis: how many components of each phase
@@ -59,14 +50,13 @@ struct Disaster {
 };
 
 /// The compiled model: CTMC + per-state service levels + cost rewards.
+/// The explored states live bit-packed in an engine::StateStore rather than
+/// the seed's unordered_map over heap-allocated encoded vectors.
 class CompiledModel {
 public:
-    using StateIndexMap =
-        std::unordered_map<std::vector<std::int16_t>, std::size_t, EncodedStateHash>;
-
     CompiledModel(ctmc::Ctmc chain, std::vector<double> service,
                   rewards::RewardStructure cost, ArcadeModel model,
-                  StateIndexMap state_index, Encoding encoding);
+                  engine::StateStore store, Encoding encoding);
 
     [[nodiscard]] const ctmc::Ctmc& chain() const noexcept { return chain_; }
     [[nodiscard]] ctmc::Ctmc& chain() noexcept { return chain_; }
@@ -108,17 +98,18 @@ public:
     /// distribution).
     [[nodiscard]] std::vector<double> disaster_distribution(const Disaster& disaster) const;
 
-    /// Raw encoded state (for tests/debugging).
-    [[nodiscard]] const std::vector<std::int16_t>& encoded_state(std::size_t index) const;
+    /// Raw encoded state, decoded from the packed store (tests/debugging).
+    [[nodiscard]] std::vector<std::int16_t> encoded_state(std::size_t index) const;
+
+    /// The packed state store (engine layer; exposed for perf counters).
+    [[nodiscard]] const engine::StateStore& state_store() const noexcept { return store_; }
 
 private:
-    friend class ModelCompiler;
     ctmc::Ctmc chain_;
     std::vector<double> service_;
     rewards::RewardStructure cost_;
     ArcadeModel model_;
-    StateIndexMap state_index_;
-    std::vector<const std::vector<std::int16_t>*> states_;  ///< index -> encoded (into map keys)
+    engine::StateStore store_;
     Encoding encoding_;
 
     [[nodiscard]] std::size_t lookup(const std::vector<std::int16_t>& encoded) const;

@@ -12,12 +12,24 @@ double availability(const CompiledModel& model) {
     return ctmc::steady_state_probability(model.chain(), model.operational_states());
 }
 
+double availability(engine::AnalysisSession& session,
+                    const engine::AnalysisSession::CompiledPtr& model) {
+    return session.availability(model);
+}
+
 double combined_availability(double line1, double line2) {
     return line1 + line2 - line1 * line2;
 }
 
+ctmc::TransientOptions session_transient(engine::AnalysisSession& session) {
+    ctmc::TransientOptions options;
+    options.workspace = &session.workspace();
+    return options;
+}
+
 std::vector<double> reliability_series(const CompiledModel& model,
-                                       std::span<const double> times) {
+                                       std::span<const double> times,
+                                       const ctmc::TransientOptions& transient) {
     for (const auto& ru : model.model().repair_units) {
         if (ru.policy != RepairPolicy::None) {
             throw ModelError(
@@ -29,18 +41,19 @@ std::vector<double> reliability_series(const CompiledModel& model,
     const std::vector<bool> down = model.chain().label("down");
     const auto initial = model.chain().initial_distribution();
     const auto p_down =
-        ctmc::bounded_until_series(model.chain(), initial, phi, down, times);
+        ctmc::bounded_until_series(model.chain(), initial, phi, down, times, transient);
     std::vector<double> reliability(p_down.size());
     for (std::size_t i = 0; i < p_down.size(); ++i) reliability[i] = 1.0 - p_down[i];
     return reliability;
 }
 
 std::vector<double> survivability_series(const CompiledModel& model, const Disaster& disaster,
-                                         double service_level, std::span<const double> times) {
+                                         double service_level, std::span<const double> times,
+                                         const ctmc::TransientOptions& transient) {
     const std::vector<bool> phi(model.state_count(), true);
     const std::vector<bool> target = model.service_at_least(service_level);
     const auto initial = model.disaster_distribution(disaster);
-    return ctmc::bounded_until_series(model.chain(), initial, phi, target, times);
+    return ctmc::bounded_until_series(model.chain(), initial, phi, target, times, transient);
 }
 
 double survivability(const CompiledModel& model, const Disaster& disaster,
@@ -51,22 +64,29 @@ double survivability(const CompiledModel& model, const Disaster& disaster,
 
 std::vector<double> instantaneous_cost_series(const CompiledModel& model,
                                               const Disaster& disaster,
-                                              std::span<const double> times) {
+                                              std::span<const double> times,
+                                              const ctmc::TransientOptions& transient) {
     const auto initial = model.disaster_distribution(disaster);
     return rewards::instantaneous_reward_series(model.chain(), initial, model.cost_reward(),
-                                                times);
+                                                times, transient);
 }
 
 std::vector<double> accumulated_cost_series(const CompiledModel& model,
                                             const Disaster& disaster,
-                                            std::span<const double> times) {
+                                            std::span<const double> times,
+                                            const ctmc::TransientOptions& transient) {
     const auto initial = model.disaster_distribution(disaster);
     return rewards::accumulated_reward_series(model.chain(), initial, model.cost_reward(),
-                                              times);
+                                              times, transient);
 }
 
 double steady_state_cost(const CompiledModel& model) {
     return rewards::steady_state_reward(model.chain(), model.cost_reward());
+}
+
+double steady_state_cost(engine::AnalysisSession& session,
+                         const engine::AnalysisSession::CompiledPtr& model) {
+    return session.steady_state_cost(model);
 }
 
 std::vector<double> service_levels(const ArcadeModel& model) {

@@ -7,7 +7,10 @@
 //   costs            R{"cost"}=?[I=t] and R{"cost"}=?[C<=t] after a disaster
 //
 // Series variants share one transient evolver per curve, which is what the
-// figure benchmarks rely on.
+// figure benchmarks rely on.  Every series function accepts a
+// ctmc::TransientOptions whose workspace pool the engine's AnalysisSession
+// provides — the session-flavoured overloads below wire that up and reuse
+// the session's cached steady-state solution for the long-run measures.
 #ifndef ARCADE_ARCADE_MEASURES_HPP
 #define ARCADE_ARCADE_MEASURES_HPP
 
@@ -15,11 +18,17 @@
 #include <vector>
 
 #include "arcade/compiler.hpp"
+#include "ctmc/transient.hpp"
+#include "engine/session.hpp"
 
 namespace arcade::core {
 
 /// Long-run probability of full service (the paper's availability).
 [[nodiscard]] double availability(const CompiledModel& model);
+
+/// Session-cached availability: one steady-state solve per model per session.
+[[nodiscard]] double availability(engine::AnalysisSession& session,
+                                  const engine::AnalysisSession::CompiledPtr& model);
 
 /// Availability of two independent lines combined:
 /// A1 + A2 - A1*A2 (the system is up when either line is up).
@@ -28,31 +37,39 @@ namespace arcade::core {
 /// Reliability curve: probability that the system has *never* left full
 /// service up to each time.  `model` must be compiled without repairs
 /// (see without_repair); this is checked.
-[[nodiscard]] std::vector<double> reliability_series(const CompiledModel& model,
-                                                     std::span<const double> times);
+[[nodiscard]] std::vector<double> reliability_series(
+    const CompiledModel& model, std::span<const double> times,
+    const ctmc::TransientOptions& transient = {});
 
 /// Survivability curve: P[reach service >= x within t | disaster].
-[[nodiscard]] std::vector<double> survivability_series(const CompiledModel& model,
-                                                       const Disaster& disaster,
-                                                       double service_level,
-                                                       std::span<const double> times);
+[[nodiscard]] std::vector<double> survivability_series(
+    const CompiledModel& model, const Disaster& disaster, double service_level,
+    std::span<const double> times, const ctmc::TransientOptions& transient = {});
 
 /// Single-point survivability.
 [[nodiscard]] double survivability(const CompiledModel& model, const Disaster& disaster,
                                    double service_level, double time);
 
 /// Expected instantaneous cost rate at each time after the disaster.
-[[nodiscard]] std::vector<double> instantaneous_cost_series(const CompiledModel& model,
-                                                            const Disaster& disaster,
-                                                            std::span<const double> times);
+[[nodiscard]] std::vector<double> instantaneous_cost_series(
+    const CompiledModel& model, const Disaster& disaster, std::span<const double> times,
+    const ctmc::TransientOptions& transient = {});
 
 /// Expected accumulated cost over [0, t] after the disaster.
-[[nodiscard]] std::vector<double> accumulated_cost_series(const CompiledModel& model,
-                                                          const Disaster& disaster,
-                                                          std::span<const double> times);
+[[nodiscard]] std::vector<double> accumulated_cost_series(
+    const CompiledModel& model, const Disaster& disaster, std::span<const double> times,
+    const ctmc::TransientOptions& transient = {});
 
 /// Steady-state expected cost rate (normal-operation cost level).
 [[nodiscard]] double steady_state_cost(const CompiledModel& model);
+
+/// Session-cached long-run cost rate (shares the availability solve).
+[[nodiscard]] double steady_state_cost(engine::AnalysisSession& session,
+                                       const engine::AnalysisSession::CompiledPtr& model);
+
+/// Transient options wired to a session's workspace pool — pass to any of
+/// the series functions to reuse the session's uniformisation scratch.
+[[nodiscard]] ctmc::TransientOptions session_transient(engine::AnalysisSession& session);
 
 /// The distinct service levels of the model, ascending (0 and 1 included);
 /// consecutive pairs delimit the paper's service intervals X1, X2, ...

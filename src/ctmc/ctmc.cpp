@@ -59,6 +59,7 @@ std::vector<std::string> Ctmc::label_names() const {
     std::vector<std::string> names;
     names.reserve(labels_.size());
     for (const auto& [k, v] : labels_) names.push_back(k);
+    std::sort(names.begin(), names.end());
     return names;
 }
 

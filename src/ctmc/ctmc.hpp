@@ -7,10 +7,10 @@
 #define ARCADE_CTMC_CTMC_HPP
 
 #include <cstddef>
-#include <map>
 #include <optional>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "linalg/csr_matrix.hpp"
@@ -40,6 +40,8 @@ public:
     void set_label(const std::string& name, std::vector<bool> states);
     [[nodiscard]] bool has_label(const std::string& name) const;
     [[nodiscard]] const std::vector<bool>& label(const std::string& name) const;
+    /// Sorted snapshot: the registry itself is unordered (hash map on the
+    /// hot lookup path), but exporters need a deterministic order.
     [[nodiscard]] std::vector<std::string> label_names() const;
 
     /// Point distribution helper.
@@ -57,7 +59,7 @@ public:
 private:
     linalg::CsrMatrix rates_;
     std::vector<double> initial_;
-    std::map<std::string, std::vector<bool>> labels_;
+    std::unordered_map<std::string, std::vector<bool>> labels_;
 };
 
 }  // namespace arcade::ctmc

@@ -40,10 +40,22 @@ TransientEvolver::TransientEvolver(const Ctmc& chain, std::span<const double> in
     : chain_(chain),
       options_(options),
       lambda_(std::max(chain.max_exit_rate(), 1e-12) * 1.02),
-      dist_(initial.begin(), initial.end()),
-      scratch_a_(chain.state_count(), 0.0),
-      scratch_b_(chain.state_count(), 0.0) {
+      dist_(initial.begin(), initial.end()) {
     ARCADE_ASSERT(initial.size() == chain.state_count(), "initial size mismatch");
+    if (options_.workspace != nullptr) {
+        scratch_a_ = options_.workspace->acquire(chain.state_count());
+        scratch_b_ = options_.workspace->acquire(chain.state_count());
+    } else {
+        scratch_a_.assign(chain.state_count(), 0.0);
+        scratch_b_.assign(chain.state_count(), 0.0);
+    }
+}
+
+TransientEvolver::~TransientEvolver() {
+    if (options_.workspace != nullptr) {
+        options_.workspace->release(std::move(scratch_a_));
+        options_.workspace->release(std::move(scratch_b_));
+    }
 }
 
 void TransientEvolver::step(double dt) {

@@ -12,11 +12,17 @@
 #include <vector>
 
 #include "ctmc/ctmc.hpp"
+#include "engine/workspace.hpp"
 
 namespace arcade::ctmc {
 
 struct TransientOptions {
     double epsilon = 1e-12;  ///< Fox–Glynn truncation error per solve/step
+    /// When set, uniformisation scratch vectors are borrowed from (and
+    /// returned to) this pool instead of being allocated per evolver —
+    /// an AnalysisSession passes its pool here so repeated curve
+    /// evaluations on the same model reuse one set of buffers.
+    engine::WorkspacePool* workspace = nullptr;
 };
 
 /// Distribution over states at time `t`, starting from `initial`.
@@ -37,6 +43,9 @@ class TransientEvolver {
 public:
     TransientEvolver(const Ctmc& chain, std::span<const double> initial,
                      TransientOptions options = {});
+    ~TransientEvolver();
+    TransientEvolver(const TransientEvolver&) = delete;
+    TransientEvolver& operator=(const TransientEvolver&) = delete;
 
     /// Advances the internal distribution to absolute time `t` (>= current).
     void advance_to(double t);
@@ -49,7 +58,7 @@ private:
     TransientOptions options_;
     double lambda_;                  ///< uniformisation rate
     std::vector<double> dist_;
-    std::vector<double> scratch_a_;
+    std::vector<double> scratch_a_;  ///< pool-borrowed when options_.workspace
     std::vector<double> scratch_b_;
     double time_ = 0.0;
 

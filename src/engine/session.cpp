@@ -1,0 +1,261 @@
+#include "engine/session.hpp"
+
+#include <cstring>
+
+#include "ctmc/steady_state.hpp"
+#include "linalg/vector_ops.hpp"
+#include "support/errors.hpp"
+
+namespace arcade::engine {
+
+namespace {
+
+/// FNV-1a accumulator over heterogeneous fields.
+class Fingerprinter {
+public:
+    explicit Fingerprinter(std::uint64_t seed) {
+        mix(static_cast<std::uint64_t>(seed ^ 0x2545f4914f6cdd1dull));
+    }
+    void mix(std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h_ ^= (v >> (8 * i)) & 0xffu;
+            h_ *= 1099511628211ull;
+        }
+    }
+    void mix(bool v) { mix(static_cast<std::uint64_t>(v)); }
+    void mix(int v) { mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(v))); }
+    void mix(double v) {
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &v, sizeof bits);
+        mix(bits);
+    }
+    void mix(const std::string& s) {
+        for (const char c : s) {
+            h_ ^= static_cast<unsigned char>(c);
+            h_ *= 1099511628211ull;
+        }
+        mix(static_cast<std::uint64_t>(s.size()));
+    }
+    template <typename T>
+    void mix_all(const std::vector<T>& xs) {
+        mix(xs.size());
+        for (const auto& x : xs) mix(static_cast<std::uint64_t>(x));
+    }
+
+    [[nodiscard]] std::uint64_t value() const noexcept { return h_; }
+
+private:
+    std::uint64_t h_ = 1469598103934665603ull;
+};
+
+std::uint64_t options_key(std::uint64_t model_fp, std::uint64_t encoding,
+                          std::size_t max_states) {
+    Fingerprinter fp(0);
+    fp.mix(model_fp);
+    fp.mix(encoding);
+    fp.mix(max_states);
+    return fp.value();
+}
+
+}  // namespace
+
+std::uint64_t fingerprint(const core::ArcadeModel& model, std::uint64_t seed) {
+    Fingerprinter fp(seed);
+    fp.mix(model.name);
+    fp.mix(model.components.size());
+    for (const auto& c : model.components) {
+        fp.mix(c.name);
+        fp.mix(c.mttf);
+        fp.mix(c.mttr);
+        fp.mix(c.failed_cost_rate);
+    }
+    fp.mix(model.repair_units.size());
+    for (const auto& ru : model.repair_units) {
+        fp.mix(ru.name);
+        fp.mix(static_cast<std::uint64_t>(ru.policy));
+        fp.mix(ru.crews);
+        fp.mix(ru.preemptive);
+        fp.mix(ru.idle_cost_rate);
+        fp.mix_all(ru.components);
+        fp.mix_all(ru.priorities);
+    }
+    fp.mix(model.spare_units.size());
+    for (const auto& su : model.spare_units) {
+        fp.mix(su.name);
+        fp.mix_all(su.components);
+        fp.mix(su.required);
+    }
+    fp.mix(model.phases.size());
+    for (const auto& ph : model.phases) {
+        fp.mix(ph.name);
+        fp.mix_all(ph.components);
+        fp.mix(ph.required);
+        fp.mix(ph.spare_managed);
+    }
+    return fp.value();
+}
+
+std::uint64_t fingerprint(const modules::ModuleSystem& system, std::uint64_t seed) {
+    Fingerprinter fp(seed);
+    fp.mix(system.name);
+    fp.mix(system.constants.size());
+    for (const auto& [name, value] : system.constants) {  // std::map: sorted
+        fp.mix(name);
+        fp.mix(value.to_string());
+    }
+    fp.mix(system.modules.size());
+    for (const auto& module : system.modules) {
+        fp.mix(module.name);
+        fp.mix(module.variables.size());
+        for (const auto& v : module.variables) {
+            fp.mix(v.name);
+            fp.mix(static_cast<std::uint64_t>(v.type));
+            fp.mix(static_cast<std::uint64_t>(v.low));
+            fp.mix(static_cast<std::uint64_t>(v.high));
+            fp.mix(static_cast<std::uint64_t>(v.init));
+        }
+        fp.mix(module.commands.size());
+        for (const auto& cmd : module.commands) {
+            fp.mix(cmd.action);
+            fp.mix(cmd.guard.to_string());
+            fp.mix(cmd.alternatives.size());
+            for (const auto& alt : cmd.alternatives) {
+                fp.mix(alt.rate.to_string());
+                fp.mix(alt.assignments.size());
+                for (const auto& asg : alt.assignments) {
+                    fp.mix(asg.variable);
+                    fp.mix(asg.value.to_string());
+                }
+            }
+        }
+    }
+    fp.mix(system.labels.size());
+    for (const auto& [name, predicate] : system.labels) {  // std::map: sorted
+        fp.mix(name);
+        fp.mix(predicate.to_string());
+    }
+    fp.mix(system.rewards.size());
+    for (const auto& decl : system.rewards) {
+        fp.mix(decl.name);
+        fp.mix(decl.items.size());
+        for (const auto& item : decl.items) {
+            fp.mix(item.guard.to_string());
+            fp.mix(item.rate.to_string());
+        }
+    }
+    return fp.value();
+}
+
+AnalysisSession::CompiledPtr AnalysisSession::compile(const core::ArcadeModel& model,
+                                                      const core::CompileOptions& options) {
+    const std::uint64_t key = options_key(
+        fingerprint(model), static_cast<std::uint64_t>(options.encoding), options.max_states);
+    const std::uint64_t check = options_key(fingerprint(model, /*seed=*/1),
+                                            static_cast<std::uint64_t>(options.encoding),
+                                            options.max_states);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = compiled_.find(key);
+        if (it != compiled_.end() && it->second.check == check) {
+            ++stats_.compile_hits;
+            return it->second.value;
+        }
+    }
+    // Compile outside the lock: exploration may take seconds and other
+    // threads should not serialise behind it.
+    auto fresh = std::make_shared<const core::CompiledModel>(core::compile(model, options));
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& entry = compiled_[key];
+    if (entry.value != nullptr && entry.check == check) {
+        ++stats_.compile_hits;  // lost a benign race; reuse the winner
+        return entry.value;
+    }
+    entry = {check, std::move(fresh)};
+    ++stats_.compile_misses;
+    return entry.value;
+}
+
+AnalysisSession::ExploredPtr AnalysisSession::explore(const modules::ModuleSystem& system,
+                                                      const modules::ExploreOptions& options) {
+    const std::uint64_t key = options_key(fingerprint(system), 0, options.max_states);
+    const std::uint64_t check =
+        options_key(fingerprint(system, /*seed=*/1), 0, options.max_states);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = explored_.find(key);
+        if (it != explored_.end() && it->second.check == check) {
+            ++stats_.explore_hits;
+            return it->second.value;
+        }
+    }
+    auto fresh =
+        std::make_shared<const modules::ExploredModel>(modules::explore(system, options));
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& entry = explored_[key];
+    if (entry.value != nullptr && entry.check == check) {
+        ++stats_.explore_hits;
+        return entry.value;
+    }
+    entry = {check, std::move(fresh)};
+    ++stats_.explore_misses;
+    return entry.value;
+}
+
+std::shared_ptr<const std::vector<double>> AnalysisSession::steady_state(
+    const CompiledPtr& model) {
+    ARCADE_ASSERT(model != nullptr, "steady_state of a null model");
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = steady_.find(model.get());
+        if (it != steady_.end()) {
+            ++stats_.steady_state_hits;
+            return it->second.pi;
+        }
+    }
+    auto pi =
+        std::make_shared<const std::vector<double>>(ctmc::steady_state(model->chain()));
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto [it, inserted] = steady_.emplace(model.get(), SteadyEntry{model, std::move(pi)});
+    if (inserted) {
+        ++stats_.steady_state_misses;
+    } else {
+        ++stats_.steady_state_hits;
+    }
+    return it->second.pi;
+}
+
+double AnalysisSession::availability(const CompiledPtr& model) {
+    const auto pi = steady_state(model);
+    const auto operational = model->operational_states();
+    double p = 0.0;
+    for (std::size_t s = 0; s < pi->size(); ++s) {
+        if (operational[s]) p += (*pi)[s];
+    }
+    return p;
+}
+
+double AnalysisSession::steady_state_cost(const CompiledPtr& model) {
+    const auto pi = steady_state(model);
+    return linalg::dot(*pi, model->cost_reward().state_rates());
+}
+
+SessionStats AnalysisSession::stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void AnalysisSession::clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    compiled_.clear();
+    explored_.clear();
+    steady_.clear();
+    workspace_.clear();
+    stats_ = SessionStats{};
+}
+
+AnalysisSession& AnalysisSession::global() {
+    static AnalysisSession session;
+    return session;
+}
+
+}  // namespace arcade::engine

@@ -1,0 +1,116 @@
+// AnalysisSession — the memoising facade over the compile/explore/solve
+// pipeline.
+//
+// Every measure, bench and example funnels through the same pipeline:
+// Arcade model (or reactive-module system) -> explicit-state exploration ->
+// CTMC solvers.  A session caches the expensive artefacts across calls,
+// keyed on a structural fingerprint of the model plus the compile options:
+//
+//   * CompiledModel / ExploredModel instances (identical watertree
+//     line+strategy+encoding requests return the same shared_ptr),
+//   * steady-state distributions per compiled model (one Gauss–Seidel
+//     solve serves availability AND long-run cost),
+//   * a WorkspacePool of solver scratch vectors (uniformisation buffers)
+//     that TransientOptions::workspace plugs into.
+//
+// Sessions are thread-safe; the process-wide `global()` session backs the
+// convenience paths in bench_common and the examples.
+#ifndef ARCADE_ENGINE_SESSION_HPP
+#define ARCADE_ENGINE_SESSION_HPP
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "arcade/compiler.hpp"
+#include "arcade/types.hpp"
+#include "engine/workspace.hpp"
+#include "modules/explorer.hpp"
+#include "modules/modules.hpp"
+
+namespace arcade::engine {
+
+/// Cache effectiveness counters (reported by the perf benchmarks).
+struct SessionStats {
+    std::size_t compile_hits = 0;
+    std::size_t compile_misses = 0;
+    std::size_t explore_hits = 0;
+    std::size_t explore_misses = 0;
+    std::size_t steady_state_hits = 0;
+    std::size_t steady_state_misses = 0;
+};
+
+/// Structural fingerprint of a model (stable across identical rebuilds of
+/// the same configuration, e.g. two watertree::line2(FRF-1) calls).
+/// `seed` selects an independent hash stream: cache entries store a second
+/// fingerprint and verify it on every hit, so a collision in one stream
+/// cannot silently return the wrong model.
+[[nodiscard]] std::uint64_t fingerprint(const core::ArcadeModel& model,
+                                        std::uint64_t seed = 0);
+[[nodiscard]] std::uint64_t fingerprint(const modules::ModuleSystem& system,
+                                        std::uint64_t seed = 0);
+
+class AnalysisSession {
+public:
+    using CompiledPtr = std::shared_ptr<const core::CompiledModel>;
+    using ExploredPtr = std::shared_ptr<const modules::ExploredModel>;
+
+    /// Compiles `model`, or returns the cached instance for an identical
+    /// (model fingerprint, encoding, max_states) request.
+    [[nodiscard]] CompiledPtr compile(const core::ArcadeModel& model,
+                                      const core::CompileOptions& options = {});
+
+    /// Explores `system`, or returns the cached instance.
+    [[nodiscard]] ExploredPtr explore(const modules::ModuleSystem& system,
+                                      const modules::ExploreOptions& options = {});
+
+    /// Steady-state distribution of `model`'s chain, solved once per model
+    /// and cached for the session.  Returned by shared_ptr so the result
+    /// stays valid across concurrent clear() calls.
+    [[nodiscard]] std::shared_ptr<const std::vector<double>> steady_state(
+        const CompiledPtr& model);
+
+    /// Long-run probability of full service, from the cached distribution.
+    [[nodiscard]] double availability(const CompiledPtr& model);
+
+    /// Long-run expected cost rate, from the same cached distribution.
+    [[nodiscard]] double steady_state_cost(const CompiledPtr& model);
+
+    /// Scratch-buffer pool for transient solvers (TransientOptions::workspace).
+    [[nodiscard]] WorkspacePool& workspace() noexcept { return workspace_; }
+
+    [[nodiscard]] SessionStats stats() const;
+
+    /// Drops every cached artefact (models, distributions, scratch).
+    void clear();
+
+    /// Process-wide session used by the convenience helpers in bench/examples.
+    [[nodiscard]] static AnalysisSession& global();
+
+private:
+    /// Steady-state cache entry: holds the model shared_ptr so the raw
+    /// pointer key can never be reused by a different model while cached.
+    struct SteadyEntry {
+        CompiledPtr model;
+        std::shared_ptr<const std::vector<double>> pi;
+    };
+
+    template <typename Ptr>
+    struct CacheEntry {
+        std::uint64_t check;  // second-stream fingerprint, verified on hit
+        Ptr value;
+    };
+
+    mutable std::mutex mutex_;
+    std::unordered_map<std::uint64_t, CacheEntry<CompiledPtr>> compiled_;
+    std::unordered_map<std::uint64_t, CacheEntry<ExploredPtr>> explored_;
+    std::unordered_map<const core::CompiledModel*, SteadyEntry> steady_;
+    WorkspacePool workspace_;
+    SessionStats stats_;
+};
+
+}  // namespace arcade::engine
+
+#endif  // ARCADE_ENGINE_SESSION_HPP

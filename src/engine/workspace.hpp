@@ -1,0 +1,89 @@
+// Reusable numeric scratch buffers.
+//
+// Transient uniformisation and the Gauss–Seidel solvers need a handful of
+// state-count-sized double vectors per solve.  A WorkspacePool keeps those
+// allocations alive across solves so a figure benchmark evaluating dozens
+// of curves on the same model reuses one set of buffers instead of
+// reallocating per call.  Header-only and dependency-free so the ctmc layer
+// can borrow from it without linking the engine facade.
+#ifndef ARCADE_ENGINE_WORKSPACE_HPP
+#define ARCADE_ENGINE_WORKSPACE_HPP
+
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace arcade::engine {
+
+/// Thread-safe pool of double vectors bucketed only by "big enough".
+class WorkspacePool {
+public:
+    /// A vector of size `n` (contents unspecified).  Reuses a pooled
+    /// allocation when one of sufficient capacity exists.
+    [[nodiscard]] std::vector<double> acquire(std::size_t n) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++acquires_;
+        for (std::size_t i = 0; i < pool_.size(); ++i) {
+            if (pool_[i].capacity() >= n) {
+                std::vector<double> out = std::move(pool_[i]);
+                pool_.erase(pool_.begin() + static_cast<std::ptrdiff_t>(i));
+                out.resize(n);
+                ++reuses_;
+                return out;
+            }
+        }
+        return std::vector<double>(n);
+    }
+
+    /// Returns a buffer to the pool (bounded; surplus buffers are freed).
+    void release(std::vector<double>&& v) {
+        if (v.capacity() == 0) return;
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (pool_.size() < kMaxPooled) pool_.push_back(std::move(v));
+    }
+
+    [[nodiscard]] std::size_t acquire_count() const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return acquires_;
+    }
+    [[nodiscard]] std::size_t reuse_count() const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return reuses_;
+    }
+
+    void clear() {
+        std::lock_guard<std::mutex> lock(mutex_);
+        pool_.clear();
+    }
+
+private:
+    static constexpr std::size_t kMaxPooled = 16;
+    mutable std::mutex mutex_;
+    std::vector<std::vector<double>> pool_;
+    std::size_t acquires_ = 0;
+    std::size_t reuses_ = 0;
+};
+
+/// RAII borrow: acquires on construction, releases on destruction.
+class ScratchVector {
+public:
+    ScratchVector(WorkspacePool* pool, std::size_t n)
+        : pool_(pool), v_(pool ? pool->acquire(n) : std::vector<double>(n)) {}
+    ~ScratchVector() {
+        if (pool_) pool_->release(std::move(v_));
+    }
+    ScratchVector(const ScratchVector&) = delete;
+    ScratchVector& operator=(const ScratchVector&) = delete;
+
+    [[nodiscard]] std::vector<double>& get() noexcept { return v_; }
+    [[nodiscard]] const std::vector<double>& get() const noexcept { return v_; }
+
+private:
+    WorkspacePool* pool_;
+    std::vector<double> v_;
+};
+
+}  // namespace arcade::engine
+
+#endif  // ARCADE_ENGINE_WORKSPACE_HPP

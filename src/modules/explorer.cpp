@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <utility>
 
+#include "engine/explore.hpp"
 #include "linalg/csr_matrix.hpp"
 #include "support/errors.hpp"
 
@@ -12,19 +14,8 @@ namespace {
 
 using State = std::vector<std::int64_t>;
 
-struct StateHash {
-    std::size_t operator()(const State& s) const noexcept {
-        std::size_t h = 1469598103934665603ull;  // FNV-1a
-        for (std::int64_t v : s) {
-            h ^= static_cast<std::size_t>(v) + 0x9e3779b97f4a7c15ull;
-            h *= 1099511628211ull;
-        }
-        return h;
-    }
-};
-
-/// Environment over a flat state vector with constant fallback.  Bool
-/// variables surface as boolean values so guards like `!b` type-check.
+/// Environment over a flat valuation with constant fallback.  Bool variables
+/// surface as boolean values so guards like `!b` type-check.
 class StateEnv final : public expr::Environment {
 public:
     StateEnv(const std::map<std::string, expr::Value>& constants,
@@ -32,13 +23,13 @@ public:
              const std::vector<bool>& is_bool)
         : constants_(constants), var_index_(var_index), is_bool_(is_bool) {}
 
-    void bind(const State* state) { state_ = state; }
+    void bind(std::span<const std::int64_t> state) { state_ = state; }
 
     [[nodiscard]] expr::Value lookup(const std::string& name) const override {
         const auto it = var_index_.find(name);
         if (it != var_index_.end()) {
-            ARCADE_ASSERT(state_ != nullptr, "unbound state environment");
-            const std::int64_t raw = (*state_)[it->second];
+            ARCADE_ASSERT(!state_.empty(), "unbound state environment");
+            const std::int64_t raw = state_[it->second];
             if (is_bool_[it->second]) return expr::Value(raw != 0);
             return expr::Value(static_cast<long long>(raw));
         }
@@ -51,13 +42,173 @@ private:
     const std::map<std::string, expr::Value>& constants_;
     const std::unordered_map<std::string, std::size_t>& var_index_;
     const std::vector<bool>& is_bool_;
-    const State* state_ = nullptr;
+    std::span<const std::int64_t> state_;
 };
 
-struct PendingTransition {
-    std::size_t source;
-    std::size_t target;
-    double rate;
+/// Commands of one action across the participating modules (one inner vector
+/// per module that owns commands with this action).
+struct SyncGroup {
+    std::string action;
+    std::vector<std::vector<const Command*>> per_module;
+};
+
+/// Immutable exploration context shared by all worker threads.
+struct ExploreContext {
+    const ModuleSystem& system;
+    std::vector<VarDecl> vars;
+    std::unordered_map<std::string, std::size_t> var_index;
+    std::vector<bool> is_bool;
+    std::vector<const Command*> interleaved;
+    std::vector<SyncGroup> sync_groups;
+};
+
+ExploreContext make_context(const ModuleSystem& system) {
+    ExploreContext ctx{system, system.all_variables(), {}, {}, {}, {}};
+    if (ctx.vars.empty()) throw ModelError("module system has no variables");
+    ctx.is_bool.resize(ctx.vars.size(), false);
+    for (std::size_t i = 0; i < ctx.vars.size(); ++i) {
+        if (!ctx.var_index.emplace(ctx.vars[i].name, i).second) {
+            throw ModelError("duplicate variable '" + ctx.vars[i].name + "'");
+        }
+        ctx.is_bool[i] = ctx.vars[i].type == VarType::Bool;
+    }
+
+    // Group synchronising commands by action.  The hot-path grouping maps
+    // are unordered; the resulting groups are sorted by action name so the
+    // exploration order (and hence state numbering) is deterministic.
+    std::unordered_map<std::string, std::size_t> group_index;
+    for (const auto& module : system.modules) {
+        std::unordered_map<std::string, std::vector<const Command*>> local;
+        std::vector<std::string> local_order;
+        for (const auto& cmd : module.commands) {
+            if (cmd.action.empty()) {
+                ctx.interleaved.push_back(&cmd);
+            } else {
+                auto [it, inserted] = local.try_emplace(cmd.action);
+                if (inserted) local_order.push_back(cmd.action);
+                it->second.push_back(&cmd);
+            }
+        }
+        for (const auto& action : local_order) {
+            auto [it, inserted] = group_index.try_emplace(action, ctx.sync_groups.size());
+            if (inserted) ctx.sync_groups.push_back(SyncGroup{action, {}});
+            ctx.sync_groups[it->second].per_module.push_back(std::move(local[action]));
+        }
+    }
+    std::sort(ctx.sync_groups.begin(), ctx.sync_groups.end(),
+              [](const SyncGroup& a, const SyncGroup& b) { return a.action < b.action; });
+    return ctx;
+}
+
+engine::StateLayout make_layout(const std::vector<VarDecl>& vars) {
+    std::vector<engine::FieldSpec> fields;
+    fields.reserve(vars.size());
+    for (const auto& v : vars) fields.push_back(engine::FieldSpec{v.low, v.high});
+    return engine::StateLayout(fields);
+}
+
+/// Per-thread successor generator over the shared context.
+class Worker {
+public:
+    explicit Worker(const ExploreContext& ctx)
+        : ctx_(ctx), env_(ctx.system.constants, ctx.var_index, ctx.is_bool) {}
+
+    template <typename Emit>
+    void operator()(std::span<const std::int64_t> current, Emit&& emit) {
+        // Interleaved commands.
+        for (const Command* cmd : ctx_.interleaved) {
+            env_.bind(current);
+            if (!cmd->guard.evaluate(env_).as_bool()) continue;
+            for (const auto& alt : cmd->alternatives) {
+                env_.bind(current);
+                const double rate = alt.rate.evaluate(env_).as_double();
+                apply_assignments(current, {&alt});
+                emit(std::span<const std::int64_t>(target_), rate);
+            }
+        }
+
+        // Synchronised commands: product over participating modules.
+        for (const auto& group : ctx_.sync_groups) {
+            enabled_.clear();
+            bool blocked = false;
+            for (const auto& cmds : group.per_module) {
+                std::vector<std::pair<const Alternative*, double>> here;
+                for (const Command* cmd : cmds) {
+                    env_.bind(current);
+                    if (!cmd->guard.evaluate(env_).as_bool()) continue;
+                    for (const auto& alt : cmd->alternatives) {
+                        env_.bind(current);
+                        here.emplace_back(&alt, alt.rate.evaluate(env_).as_double());
+                    }
+                }
+                if (here.empty()) {
+                    blocked = true;
+                    break;
+                }
+                enabled_.push_back(std::move(here));
+            }
+            if (blocked || enabled_.empty()) continue;
+
+            // Cartesian product.
+            pick_.assign(enabled_.size(), 0);
+            while (true) {
+                double rate = 1.0;
+                alts_.clear();
+                for (std::size_t m = 0; m < enabled_.size(); ++m) {
+                    alts_.push_back(enabled_[m][pick_[m]].first);
+                    rate *= enabled_[m][pick_[m]].second;
+                }
+                apply_assignments(current, alts_);
+                emit(std::span<const std::int64_t>(target_), rate);
+
+                // advance the odometer
+                std::size_t d = 0;
+                for (; d < pick_.size(); ++d) {
+                    if (++pick_[d] < enabled_[d].size()) break;
+                    pick_[d] = 0;
+                }
+                if (d == pick_.size()) break;
+            }
+        }
+    }
+
+private:
+    void apply_assignments(std::span<const std::int64_t> from,
+                           std::span<const Alternative* const> alts) {
+        target_.assign(from.begin(), from.end());
+        env_.bind(from);
+        for (const Alternative* alt : alts) {
+            for (const auto& asg : alt->assignments) {
+                const auto it = ctx_.var_index.find(asg.variable);
+                if (it == ctx_.var_index.end()) {
+                    throw ModelError("assignment to unknown variable '" + asg.variable + "'");
+                }
+                const expr::Value v = asg.value.evaluate(env_);
+                const std::int64_t raw =
+                    v.is_bool() ? static_cast<std::int64_t>(v.as_bool()) : v.as_int();
+                const auto& decl = ctx_.vars[it->second];
+                if (raw < decl.low || raw > decl.high) {
+                    throw ModelError("assignment drives '" + asg.variable + "' to " +
+                                     std::to_string(raw) + ", outside [" +
+                                     std::to_string(decl.low) + "," +
+                                     std::to_string(decl.high) + "]");
+                }
+                target_[it->second] = raw;
+            }
+        }
+    }
+
+    void apply_assignments(std::span<const std::int64_t> from,
+                           std::initializer_list<const Alternative*> alts) {
+        apply_assignments(from, std::span<const Alternative* const>(alts.begin(), alts.size()));
+    }
+
+    const ExploreContext& ctx_;
+    StateEnv env_;
+    State target_;
+    std::vector<std::vector<std::pair<const Alternative*, double>>> enabled_;
+    std::vector<std::size_t> pick_;
+    std::vector<const Alternative*> alts_;
 };
 
 }  // namespace
@@ -70,197 +221,75 @@ std::size_t ExploredModel::variable_index(const std::string& name) const {
 }
 
 std::int64_t ExploredModel::value_of(std::size_t state, const std::string& name) const {
-    ARCADE_ASSERT(state < states.size(), "state index out of range");
-    return states[state][variable_index(name)];
+    ARCADE_ASSERT(state < store.size(), "state index out of range");
+    return store.value(state, variable_index(name));
+}
+
+std::vector<std::int64_t> ExploredModel::valuation(std::size_t state) const {
+    std::vector<std::int64_t> out(variable_names.size());
+    store.unpack(state, std::span<std::int64_t>(out));
+    return out;
+}
+
+std::vector<std::vector<std::int64_t>> ExploredModel::states() const {
+    std::vector<std::vector<std::int64_t>> out;
+    out.reserve(store.size());
+    for (std::size_t s = 0; s < store.size(); ++s) out.push_back(valuation(s));
+    return out;
 }
 
 ExploredModel explore(const ModuleSystem& system, const ExploreOptions& options) {
-    // Flatten variables; remember their bounds.
-    std::vector<VarDecl> vars = system.all_variables();
-    if (vars.empty()) throw ModelError("module system has no variables");
-    std::unordered_map<std::string, std::size_t> var_index;
-    std::vector<bool> is_bool(vars.size(), false);
-    for (std::size_t i = 0; i < vars.size(); ++i) {
-        if (!var_index.emplace(vars[i].name, i).second) {
-            throw ModelError("duplicate variable '" + vars[i].name + "'");
-        }
-        is_bool[i] = vars[i].type == VarType::Bool;
-    }
+    const ExploreContext ctx = make_context(system);
 
-    StateEnv env(system.constants, var_index, is_bool);
-
-    // Group synchronising commands by action.
-    struct SyncGroup {
-        std::string action;
-        // per participating module: its commands with this action
-        std::vector<std::vector<const Command*>> per_module;
-    };
-    std::vector<const Command*> interleaved;
-    std::map<std::string, std::vector<std::vector<const Command*>>> sync_map;
-    for (const auto& module : system.modules) {
-        std::map<std::string, std::vector<const Command*>> local;
-        for (const auto& cmd : module.commands) {
-            if (cmd.action.empty()) {
-                interleaved.push_back(&cmd);
-            } else {
-                local[cmd.action].push_back(&cmd);
-            }
-        }
-        for (auto& [action, cmds] : local) {
-            sync_map[action].push_back(std::move(cmds));
-        }
-    }
-
-    // Initial state.
-    State initial(vars.size());
-    for (std::size_t i = 0; i < vars.size(); ++i) {
-        const auto& v = vars[i];
+    State initial(ctx.vars.size());
+    for (std::size_t i = 0; i < ctx.vars.size(); ++i) {
+        const auto& v = ctx.vars[i];
         if (v.init < v.low || v.init > v.high) {
             throw ModelError("initial value of '" + v.name + "' violates its bounds");
         }
         initial[i] = v.init;
     }
 
-    std::unordered_map<State, std::size_t, StateHash> index;
-    std::vector<State> states;
-    std::vector<PendingTransition> transitions;
-
-    index.emplace(initial, 0);
-    states.push_back(initial);
-
-    auto apply_assignments = [&](const State& from,
-                                 const std::vector<const Alternative*>& alts) {
-        State to = from;
-        env.bind(&from);
-        for (const Alternative* alt : alts) {
-            for (const auto& asg : alt->assignments) {
-                const auto it = var_index.find(asg.variable);
-                if (it == var_index.end()) {
-                    throw ModelError("assignment to unknown variable '" + asg.variable + "'");
-                }
-                const expr::Value v = asg.value.evaluate(env);
-                const std::int64_t raw =
-                    v.is_bool() ? static_cast<std::int64_t>(v.as_bool()) : v.as_int();
-                const auto& decl = vars[it->second];
-                if (raw < decl.low || raw > decl.high) {
-                    throw ModelError("assignment drives '" + asg.variable + "' to " +
-                                     std::to_string(raw) + ", outside [" +
-                                     std::to_string(decl.low) + "," +
-                                     std::to_string(decl.high) + "]");
-                }
-                to[it->second] = raw;
-            }
-        }
-        return to;
-    };
-
-    for (std::size_t si = 0; si < states.size(); ++si) {
-        if (states.size() > options.max_states) {
-            throw ModelError("state-space explosion: more than " +
-                             std::to_string(options.max_states) + " states");
-        }
-        const State current = states[si];  // copy: `states` may reallocate
-        env.bind(&current);
-
-        auto enqueue = [&](State&& target, double rate) {
-            if (rate < 0.0) throw ModelError("negative transition rate");
-            if (rate == 0.0) return;
-            const auto [it, inserted] = index.emplace(std::move(target), states.size());
-            if (inserted) states.push_back(it->first);
-            transitions.push_back(PendingTransition{si, it->second, rate});
-        };
-
-        // Interleaved commands.
-        for (const Command* cmd : interleaved) {
-            env.bind(&current);
-            if (!cmd->guard.evaluate(env).as_bool()) continue;
-            for (const auto& alt : cmd->alternatives) {
-                env.bind(&current);
-                const double rate = alt.rate.evaluate(env).as_double();
-                State target = apply_assignments(current, {&alt});
-                enqueue(std::move(target), rate);
-            }
-        }
-
-        // Synchronised commands: product over participating modules.
-        for (const auto& [action, per_module] : sync_map) {
-            // Collect enabled (alternative, rate) tuples per module.
-            std::vector<std::vector<std::pair<const Alternative*, double>>> enabled;
-            bool blocked = false;
-            for (const auto& cmds : per_module) {
-                std::vector<std::pair<const Alternative*, double>> here;
-                for (const Command* cmd : cmds) {
-                    env.bind(&current);
-                    if (!cmd->guard.evaluate(env).as_bool()) continue;
-                    for (const auto& alt : cmd->alternatives) {
-                        env.bind(&current);
-                        here.emplace_back(&alt, alt.rate.evaluate(env).as_double());
-                    }
-                }
-                if (here.empty()) {
-                    blocked = true;
-                    break;
-                }
-                enabled.push_back(std::move(here));
-            }
-            if (blocked || enabled.empty()) continue;
-
-            // Cartesian product.
-            std::vector<std::size_t> pick(enabled.size(), 0);
-            while (true) {
-                double rate = 1.0;
-                std::vector<const Alternative*> alts;
-                alts.reserve(enabled.size());
-                for (std::size_t m = 0; m < enabled.size(); ++m) {
-                    alts.push_back(enabled[m][pick[m]].first);
-                    rate *= enabled[m][pick[m]].second;
-                }
-                State target = apply_assignments(current, alts);
-                enqueue(std::move(target), rate);
-
-                // advance the odometer
-                std::size_t d = 0;
-                for (; d < pick.size(); ++d) {
-                    if (++pick[d] < enabled[d].size()) break;
-                    pick[d] = 0;
-                }
-                if (d == pick.size()) break;
-            }
-        }
-
-    }
+    engine::EngineOptions engine_options;
+    engine_options.max_states = options.max_states;
+    engine_options.threads = options.threads;
+    auto explored = engine::explore_bfs(
+        make_layout(ctx.vars), initial, [&ctx] { return Worker(ctx); }, engine_options);
+    engine::StateStore store = std::move(explored.store);
 
     // Build the rate matrix.
-    linalg::CsrBuilder builder(states.size(), states.size());
-    for (const auto& t : transitions) {
+    linalg::CsrBuilder builder(store.size(), store.size());
+    for (const auto& t : explored.transitions) {
         if (t.target == t.source) continue;  // drop rate self-loops (CTMC no-ops)
         builder.add(t.source, t.target, t.rate);
     }
 
-    std::vector<double> init_dist(states.size(), 0.0);
+    std::vector<double> init_dist(store.size(), 0.0);
     init_dist[0] = 1.0;
     ctmc::Ctmc chain(builder.build(), std::move(init_dist));
 
-    ExploredModel out{std::move(chain), {}, {}, {}};
-    out.variable_names.reserve(vars.size());
-    for (const auto& v : vars) out.variable_names.push_back(v.name);
-    out.states = std::move(states);
+    ExploredModel out{std::move(chain), {}, std::move(store), {}};
+    out.variable_names.reserve(ctx.vars.size());
+    for (const auto& v : ctx.vars) out.variable_names.push_back(v.name);
 
-    // Labels.
+    // Labels and rewards: one serial sweep over the decoded states.
+    StateEnv env(system.constants, ctx.var_index, ctx.is_bool);
+    State values(ctx.vars.size());
+    const std::size_t n = out.store.size();
     for (const auto& [name, predicate] : system.labels) {
-        std::vector<bool> bits(out.states.size(), false);
-        for (std::size_t s = 0; s < out.states.size(); ++s) {
-            env.bind(&out.states[s]);
+        std::vector<bool> bits(n, false);
+        for (std::size_t s = 0; s < n; ++s) {
+            out.store.unpack(s, std::span<std::int64_t>(values));
+            env.bind(values);
             bits[s] = predicate.evaluate(env).as_bool();
         }
         out.chain.set_label(name, std::move(bits));
     }
-
-    // Rewards.
     for (const auto& decl : system.rewards) {
-        std::vector<double> rates(out.states.size(), 0.0);
-        for (std::size_t s = 0; s < out.states.size(); ++s) {
-            env.bind(&out.states[s]);
+        std::vector<double> rates(n, 0.0);
+        for (std::size_t s = 0; s < n; ++s) {
+            out.store.unpack(s, std::span<std::int64_t>(values));
+            env.bind(values);
             double r = 0.0;
             for (const auto& item : decl.items) {
                 if (item.guard.evaluate(env).as_bool()) {
@@ -289,9 +318,11 @@ std::vector<bool> evaluate_state_predicate(const ExploredModel& model,
         if (it != var_index.end()) is_bool[it->second] = v.type == VarType::Bool;
     }
     StateEnv env(system.constants, var_index, is_bool);
-    std::vector<bool> bits(model.states.size(), false);
-    for (std::size_t s = 0; s < model.states.size(); ++s) {
-        env.bind(&model.states[s]);
+    std::vector<bool> bits(model.store.size(), false);
+    State values(model.variable_names.size());
+    for (std::size_t s = 0; s < model.store.size(); ++s) {
+        model.store.unpack(s, std::span<std::int64_t>(values));
+        env.bind(values);
         bits[s] = predicate.evaluate(env).as_bool();
     }
     return bits;

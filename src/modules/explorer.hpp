@@ -3,8 +3,12 @@
 // Performs breadth-first reachability from the initial valuation, applying
 // interleaved commands directly and synchronised commands as the product of
 // enabled alternatives per participating module (rates multiply — PRISM CTMC
-// semantics).  Produces the CTMC, the per-state variable valuations, label
-// bitsets and reward structures.
+// semantics).  Produces the CTMC, the per-state variable valuations (held in
+// the engine's packed state store), label bitsets and reward structures.
+//
+// Exploration runs on the engine layer: states are bit-packed into the
+// arena-backed store and the BFS is sharded across worker threads
+// (ExploreOptions::threads); any thread count produces the identical CTMC.
 #ifndef ARCADE_MODULES_EXPLORER_HPP
 #define ARCADE_MODULES_EXPLORER_HPP
 
@@ -14,6 +18,7 @@
 #include <vector>
 
 #include "ctmc/ctmc.hpp"
+#include "engine/state_store.hpp"
 #include "modules/modules.hpp"
 #include "rewards/rewards.hpp"
 
@@ -21,19 +26,28 @@ namespace arcade::modules {
 
 struct ExploreOptions {
     std::size_t max_states = 50'000'000;  ///< explosion guard
+    /// Worker threads for the sharded BFS; 0 = hardware concurrency.
+    unsigned threads = 0;
 };
 
 /// Result of exploring a module system.
 struct ExploredModel {
-    ctmc::Ctmc chain;                             ///< with labels installed
-    std::vector<std::string> variable_names;      ///< flattened declaration order
-    std::vector<std::vector<std::int64_t>> states;///< valuation per state index
+    ctmc::Ctmc chain;                         ///< with labels installed
+    std::vector<std::string> variable_names;  ///< flattened declaration order
+    engine::StateStore store;                 ///< packed valuation per state index
     std::map<std::string, rewards::RewardStructure> reward_structures;
+
+    [[nodiscard]] std::size_t state_count() const noexcept { return store.size(); }
 
     /// Index of a variable in `variable_names` (throws if absent).
     [[nodiscard]] std::size_t variable_index(const std::string& name) const;
     /// Value of variable `name` in state `state`.
     [[nodiscard]] std::int64_t value_of(std::size_t state, const std::string& name) const;
+    /// Full valuation of one state (declaration order).
+    [[nodiscard]] std::vector<std::int64_t> valuation(std::size_t state) const;
+    /// Adapter materialising every valuation as the seed's vector-of-vectors
+    /// (XML/PRISM export paths that need all states at once).
+    [[nodiscard]] std::vector<std::vector<std::int64_t>> states() const;
 };
 
 /// Explores `system` from its initial valuation.  Throws ModelError on

@@ -15,6 +15,14 @@ std::vector<Strategy> paper_strategies() {
     };
 }
 
+const Strategy& strategy(const std::string& name) {
+    static const std::vector<Strategy> all = paper_strategies();
+    for (const auto& s : all) {
+        if (s.name == name) return s;
+    }
+    throw InvalidArgument("unknown repair strategy '" + name + "'");
+}
+
 namespace {
 
 core::ArcadeModel build_line(const std::string& name, std::size_t sandfilters,
@@ -42,6 +50,23 @@ core::ArcadeModel line1(const Strategy& strategy, const Parameters& params) {
 
 core::ArcadeModel line2(const Strategy& strategy, const Parameters& params) {
     return build_line("line2-" + strategy.name, 2, 3, 2, strategy, params);
+}
+
+core::ArcadeModel line(int number, const Strategy& strategy, const Parameters& params) {
+    switch (number) {
+        case 1: return line1(strategy, params);
+        case 2: return line2(strategy, params);
+        default: throw InvalidArgument("line number must be 1 or 2");
+    }
+}
+
+engine::AnalysisSession::CompiledPtr compile_line(engine::AnalysisSession& session,
+                                                  int number, const Strategy& strategy,
+                                                  core::Encoding encoding,
+                                                  const Parameters& params) {
+    core::CompileOptions options;
+    options.encoding = encoding;
+    return session.compile(line(number, strategy, params), options);
 }
 
 core::Disaster disaster1(const core::ArcadeModel& line) {

@@ -15,6 +15,7 @@
 
 #include "arcade/compiler.hpp"
 #include "arcade/types.hpp"
+#include "engine/session.hpp"
 
 namespace arcade::watertree {
 
@@ -42,6 +43,21 @@ struct Strategy {
 
 /// DED, FRF-1, FRF-2, FFF-1, FFF-2 (the paper's Table 1 rows).
 [[nodiscard]] std::vector<Strategy> paper_strategies();
+
+/// Strategy lookup by paper name ("DED", "FRF-1", ...).  Throws
+/// InvalidArgument on unknown names.
+[[nodiscard]] const Strategy& strategy(const std::string& name);
+
+/// Builds line 1 or 2 by number.
+[[nodiscard]] core::ArcadeModel line(int number, const Strategy& strategy,
+                                     const Parameters& params = {});
+
+/// Session-cached compilation of one line (the figure harnesses' entry
+/// point): callers asking for the same (line, strategy, encoding) share
+/// one CompiledModel.
+[[nodiscard]] engine::AnalysisSession::CompiledPtr compile_line(
+    engine::AnalysisSession& session, int number, const Strategy& strategy,
+    core::Encoding encoding = core::Encoding::Individual, const Parameters& params = {});
 
 /// Line 1: 3 softeners, 3 sand filters, 1 reservoir, 4 pumps (3+1 spare).
 [[nodiscard]] core::ArcadeModel line1(const Strategy& strategy,

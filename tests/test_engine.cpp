@@ -1,0 +1,282 @@
+// Engine layer: packed state store, deterministic parallel exploration,
+// analysis-session caching, workspace pooling.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "arcade/compiler.hpp"
+#include "arcade/measures.hpp"
+#include "arcade/modules_compiler.hpp"
+#include "ctmc/transient.hpp"
+#include "engine/explore.hpp"
+#include "engine/session.hpp"
+#include "engine/state_store.hpp"
+#include "engine/workspace.hpp"
+#include "modules/explorer.hpp"
+#include "support/errors.hpp"
+#include "watertree/watertree.hpp"
+
+namespace engine = arcade::engine;
+namespace core = arcade::core;
+namespace modules = arcade::modules;
+namespace wt = arcade::watertree;
+
+namespace {
+
+std::vector<std::int64_t> roundtrip(const engine::StateLayout& layout,
+                                    const std::vector<std::int64_t>& values) {
+    std::vector<std::uint64_t> words(layout.words_per_state());
+    layout.pack(std::span<const std::int64_t>(values), words.data());
+    std::vector<std::int64_t> out(layout.field_count());
+    layout.unpack(words.data(), std::span<std::int64_t>(out));
+    return out;
+}
+
+}  // namespace
+
+TEST(StateLayout, RoundTripBasicRanges) {
+    const engine::StateLayout layout({{0, 2}, {0, 9}, {0, 1}, {0, 255}});
+    const std::vector<std::int64_t> values{2, 7, 1, 200};
+    EXPECT_EQ(roundtrip(layout, values), values);
+    EXPECT_EQ(layout.words_per_state(), 1u);
+}
+
+TEST(StateLayout, RoundTripNegativeLowerBounds) {
+    const engine::StateLayout layout({{-5, 3}, {-100, -50}, {-1, 1}});
+    for (const auto& values : std::vector<std::vector<std::int64_t>>{
+             {-5, -100, -1}, {3, -50, 1}, {0, -77, 0}}) {
+        EXPECT_EQ(roundtrip(layout, values), values);
+    }
+}
+
+TEST(StateLayout, SingleValueRangesCostZeroBits) {
+    // All-constant fields still produce a valid (1-word) layout.
+    const engine::StateLayout constant({{7, 7}, {-3, -3}});
+    EXPECT_EQ(constant.words_per_state(), 1u);
+    EXPECT_EQ(roundtrip(constant, {7, -3}), (std::vector<std::int64_t>{7, -3}));
+
+    // A single-value field between wide fields costs nothing: 2x32 bits
+    // plus the constant still fit one word.
+    const engine::StateLayout mixed({{0, (1ll << 32) - 1}, {42, 42}, {0, (1ll << 32) - 1}});
+    EXPECT_EQ(mixed.words_per_state(), 1u);
+    const std::vector<std::int64_t> values{123456789, 42, 987654321};
+    EXPECT_EQ(roundtrip(mixed, values), values);
+}
+
+TEST(StateLayout, ZeroWidthFieldAfterExactlyFullWord) {
+    // 32 two-bit fields fill word 0 exactly; the zero-width field after them
+    // must not be assigned shift 64 (which would shift a uint64 by 64, UB).
+    std::vector<engine::FieldSpec> fields(32, engine::FieldSpec{0, 3});
+    fields.push_back(engine::FieldSpec{5, 5});
+    fields.push_back(engine::FieldSpec{0, 1});
+    const engine::StateLayout layout(fields);
+    std::vector<std::int64_t> values(32, 2);
+    values.push_back(5);
+    values.push_back(1);
+    EXPECT_EQ(roundtrip(layout, values), values);
+    std::vector<std::uint64_t> words(layout.words_per_state());
+    layout.pack(std::span<const std::int64_t>(values), words.data());
+    EXPECT_EQ(layout.extract(words.data(), 32), 5);
+    EXPECT_EQ(layout.extract(words.data(), 33), 1);
+}
+
+TEST(StateLayout, FieldsNeverStraddleWords) {
+    // 40 + 40 bits cannot share a word: second field starts word 1.
+    const engine::StateLayout layout({{0, (1ll << 40) - 1}, {0, (1ll << 40) - 1}});
+    EXPECT_EQ(layout.words_per_state(), 2u);
+    const std::vector<std::int64_t> values{(1ll << 40) - 1, (1ll << 39) + 17};
+    EXPECT_EQ(roundtrip(layout, values), values);
+}
+
+TEST(StateLayout, ExtractSingleField) {
+    const engine::StateLayout layout({{-5, 3}, {0, 100}, {7, 7}});
+    std::vector<std::uint64_t> words(layout.words_per_state());
+    layout.pack(std::span<const std::int64_t>(std::vector<std::int64_t>{-2, 55, 7}), words.data());
+    EXPECT_EQ(layout.extract(words.data(), 0), -2);
+    EXPECT_EQ(layout.extract(words.data(), 1), 55);
+    EXPECT_EQ(layout.extract(words.data(), 2), 7);
+}
+
+TEST(StateLayout, PackRejectsOutOfRangeValues) {
+    const engine::StateLayout layout({{0, 2}});
+    std::vector<std::uint64_t> words(layout.words_per_state());
+    EXPECT_THROW(layout.pack(std::span<const std::int64_t>(std::vector<std::int64_t>{3}), words.data()),
+                 arcade::ModelError);
+    EXPECT_THROW(layout.pack(std::span<const std::int64_t>(std::vector<std::int64_t>{-1}), words.data()),
+                 arcade::ModelError);
+    EXPECT_THROW(engine::StateLayout({{2, 1}}), arcade::InvalidArgument);
+}
+
+TEST(StateStore, InternDeduplicatesAndSurvivesRehash) {
+    const engine::StateLayout layout({{0, 1 << 20}});
+    engine::StateStore store(layout);
+    std::vector<std::uint64_t> words(layout.words_per_state());
+    // Enough states to force several table growths past the initial 1024.
+    const std::int64_t n = 5000;
+    for (std::int64_t v = 0; v < n; ++v) {
+        layout.pack(std::span<const std::int64_t>(std::vector<std::int64_t>{v}), words.data());
+        const auto [index, inserted] = store.intern(words.data());
+        EXPECT_TRUE(inserted);
+        EXPECT_EQ(index, static_cast<std::size_t>(v));
+    }
+    EXPECT_EQ(store.size(), static_cast<std::size_t>(n));
+    for (std::int64_t v = 0; v < n; ++v) {
+        layout.pack(std::span<const std::int64_t>(std::vector<std::int64_t>{v}), words.data());
+        const auto [index, inserted] = store.intern(words.data());
+        EXPECT_FALSE(inserted);
+        EXPECT_EQ(index, static_cast<std::size_t>(v));
+        EXPECT_EQ(store.find(words.data()), static_cast<std::size_t>(v));
+        EXPECT_EQ(store.value(index, 0), v);
+    }
+    layout.pack(std::span<const std::int64_t>(std::vector<std::int64_t>{n + 1}), words.data());
+    EXPECT_EQ(store.find(words.data()), SIZE_MAX);
+}
+
+namespace {
+
+/// Asserts two compiled models are structurally identical: state count,
+/// canonical per-state encodings, and the exact rate matrix.
+void expect_identical(const core::CompiledModel& a, const core::CompiledModel& b) {
+    ASSERT_EQ(a.state_count(), b.state_count());
+    ASSERT_EQ(a.transition_count(), b.transition_count());
+    for (std::size_t s = 0; s < a.state_count(); ++s) {
+        ASSERT_EQ(a.encoded_state(s), b.encoded_state(s)) << "state " << s;
+    }
+    EXPECT_EQ(a.chain().rates().row_ptr(), b.chain().rates().row_ptr());
+    EXPECT_EQ(a.chain().rates().col_idx(), b.chain().rates().col_idx());
+    EXPECT_EQ(a.chain().rates().values(), b.chain().rates().values());
+    EXPECT_EQ(a.service_levels(), b.service_levels());
+}
+
+}  // namespace
+
+TEST(ParallelExploration, CompileMatchesSerialOnLine2) {
+    const auto model = wt::line2(wt::strategy("FRF-1"));
+    core::CompileOptions serial;
+    serial.threads = 1;
+    const auto reference = core::compile(model, serial);
+    EXPECT_EQ(reference.state_count(), 8129u);  // paper Table 1
+
+    for (const unsigned threads : {2u, 4u}) {
+        core::CompileOptions parallel;
+        parallel.threads = threads;
+        expect_identical(reference, core::compile(model, parallel));
+    }
+}
+
+TEST(ParallelExploration, LumpedEncodingMatchesSerial) {
+    const auto model = wt::line1(wt::strategy("FFF-2"));
+    core::CompileOptions serial;
+    serial.encoding = core::Encoding::Lumped;
+    serial.threads = 1;
+    core::CompileOptions parallel = serial;
+    parallel.threads = 3;
+    expect_identical(core::compile(model, serial), core::compile(model, parallel));
+}
+
+TEST(ParallelExploration, ModuleExplorerMatchesSerialOnLine2) {
+    const auto system = core::to_reactive_modules(wt::line2(wt::strategy("FRF-1")));
+    modules::ExploreOptions serial;
+    serial.threads = 1;
+    const auto reference = modules::explore(system, serial);
+
+    modules::ExploreOptions parallel;
+    parallel.threads = 2;
+    const auto explored = modules::explore(system, parallel);
+
+    ASSERT_EQ(reference.chain.state_count(), explored.chain.state_count());
+    ASSERT_EQ(reference.chain.transition_count(), explored.chain.transition_count());
+    for (std::size_t s = 0; s < reference.state_count(); ++s) {
+        ASSERT_EQ(reference.valuation(s), explored.valuation(s)) << "state " << s;
+    }
+    EXPECT_EQ(reference.chain.rates().row_ptr(), explored.chain.rates().row_ptr());
+    EXPECT_EQ(reference.chain.rates().col_idx(), explored.chain.rates().col_idx());
+    EXPECT_EQ(reference.chain.rates().values(), explored.chain.rates().values());
+    for (const auto& name : reference.chain.label_names()) {
+        EXPECT_EQ(reference.chain.label(name), explored.chain.label(name));
+    }
+}
+
+TEST(ExploredModel, StatesAdapterMaterialisesValuations) {
+    const auto system = core::to_reactive_modules(wt::line2(wt::strategy("DED")));
+    const auto explored = modules::explore(system);
+    const auto states = explored.states();
+    ASSERT_EQ(states.size(), explored.state_count());
+    for (std::size_t s = 0; s < states.size(); ++s) {
+        EXPECT_EQ(states[s], explored.valuation(s));
+    }
+}
+
+TEST(AnalysisSession, CompileCacheHitsArePointerIdentical) {
+    engine::AnalysisSession session;
+    const auto first = session.compile(wt::line2(wt::strategy("FRF-1")));
+    const auto second = session.compile(wt::line2(wt::strategy("FRF-1")));
+    EXPECT_EQ(first.get(), second.get());
+
+    // A different strategy, encoding or max_states is a different entry.
+    const auto other = session.compile(wt::line2(wt::strategy("FFF-1")));
+    EXPECT_NE(first.get(), other.get());
+    core::CompileOptions lumped;
+    lumped.encoding = core::Encoding::Lumped;
+    const auto third = session.compile(wt::line2(wt::strategy("FRF-1")), lumped);
+    EXPECT_NE(first.get(), third.get());
+
+    const auto stats = session.stats();
+    EXPECT_EQ(stats.compile_hits, 1u);
+    EXPECT_EQ(stats.compile_misses, 3u);
+}
+
+TEST(AnalysisSession, ExploreCacheHitsArePointerIdentical) {
+    engine::AnalysisSession session;
+    const auto system = core::to_reactive_modules(wt::line2(wt::strategy("DED")));
+    const auto first = session.explore(system);
+    const auto second = session.explore(system);
+    EXPECT_EQ(first.get(), second.get());
+    EXPECT_EQ(session.stats().explore_hits, 1u);
+}
+
+TEST(AnalysisSession, SteadyStateSolvedOncePerModel) {
+    engine::AnalysisSession session;
+    core::CompileOptions lumped;
+    lumped.encoding = core::Encoding::Lumped;
+    const auto model = session.compile(wt::line2(wt::strategy("FRF-1")), lumped);
+
+    const double a1 = session.availability(model);
+    const double cost = session.steady_state_cost(model);
+    const double a2 = session.availability(model);
+    EXPECT_EQ(a1, a2);
+    EXPECT_GT(cost, 0.0);
+    EXPECT_NEAR(a1, core::availability(*model), 1e-12);
+
+    const auto stats = session.stats();
+    EXPECT_EQ(stats.steady_state_misses, 1u);
+    EXPECT_EQ(stats.steady_state_hits, 2u);
+
+    session.clear();
+    EXPECT_EQ(session.stats().steady_state_misses, 0u);
+}
+
+TEST(Workspace, PoolReusesBuffersAndPreservesResults) {
+    engine::AnalysisSession session;
+    core::CompileOptions lumped;
+    lumped.encoding = core::Encoding::Lumped;
+    const auto model = session.compile(wt::line2(wt::strategy("FRF-2")), lumped);
+    const auto disaster = wt::disaster2();
+    const std::vector<double> times{0.0, 10.0, 25.0, 50.0};
+
+    const auto plain = core::survivability_series(*model, disaster, 1.0 / 3.0, times);
+    const auto pooled = core::survivability_series(*model, disaster, 1.0 / 3.0, times,
+                                                   core::session_transient(session));
+    ASSERT_EQ(plain.size(), pooled.size());
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+        EXPECT_NEAR(plain[i], pooled[i], 1e-14);
+    }
+    EXPECT_GT(session.workspace().acquire_count(), 0u);
+
+    // A second curve on the same model reuses the released buffers.
+    (void)core::survivability_series(*model, disaster, 2.0 / 3.0, times,
+                                     core::session_transient(session));
+    EXPECT_GT(session.workspace().reuse_count(), 0u);
+}
+
