@@ -62,23 +62,24 @@ std::vector<double> bounded_until_all_states(const Ctmc& chain, const std::vecto
     const Ctmc transformed = until_transform(chain, phi, psi);
     const std::size_t n = chain.state_count();
 
-    // Backward recurrence: v(t) = sum_k pois_k(q t) * P^k * 1_psi.
-    const double lambda = std::max(transformed.max_exit_rate(), 1e-12) * 1.02;
-    const auto weights = numeric::fox_glynn(lambda * t, options.epsilon);
-
     std::vector<double> cur(n, 0.0);
     for (std::size_t s = 0; s < n; ++s) cur[s] = psi[s] ? 1.0 : 0.0;
+
+    // A zero-rate transformed chain (every phi-state already absorbing) never
+    // moves: v(t) is exactly the psi indicator, no uniformisation needed.
+    const double max_rate = transformed.max_exit_rate();
+    if (max_rate == 0.0) return cur;
+
+    // Backward recurrence: v(t) = sum_k pois_k(q t) * P^k * 1_psi.
+    const double lambda = max_rate * 1.02;
+    const auto weights = numeric::fox_glynn(lambda * t, options.epsilon);
+
     std::vector<double> acc(n, 0.0);
     std::vector<double> next(n, 0.0);
 
     const auto& rates = transformed.rates();
-    for (std::size_t k = 0;; ++k) {
-        const double w = weights.weight(k);
-        if (w != 0.0) {
-            for (std::size_t i = 0; i < n; ++i) acc[i] += w * cur[i];
-        }
-        if (k == weights.right) break;
-        // next = P * cur  (column-vector form of the uniformised matrix)
+    // next = P * cur  (column-vector form of the uniformised matrix)
+    const auto power_step = [&] {
         for (std::size_t i = 0; i < n; ++i) {
             const auto cols = rates.row_columns(i);
             const auto vals = rates.row_values(i);
@@ -93,6 +94,16 @@ std::vector<double> bounded_until_all_states(const Ctmc& chain, const std::vecto
             next[i] = sum + (1.0 - moved) * cur[i];
         }
         std::swap(cur, next);
+    };
+
+    // Below the Fox–Glynn window every weight is zero: advance cur to
+    // P^left * 1_psi with bare power iterations, no accumulation pass.
+    for (std::size_t k = 0; k < weights.left; ++k) power_step();
+    for (std::size_t k = weights.left;; ++k) {
+        const double w = weights.weight(k);
+        for (std::size_t i = 0; i < n; ++i) acc[i] += w * cur[i];
+        if (k == weights.right) break;
+        power_step();
     }
     return acc;
 }

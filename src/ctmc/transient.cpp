@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "numeric/fox_glynn.hpp"
 #include "support/errors.hpp"
@@ -84,7 +85,17 @@ void TransientEvolver::step(double dt) {
 }
 
 void TransientEvolver::advance_to(double t) {
-    ARCADE_ASSERT(t >= time_ - 1e-12, "advance_to: time must be non-decreasing");
+    if (t < time_) {
+        // Duplicate grid points (within tolerance) clamp to the current
+        // time — the distribution is already there and time never moves
+        // backwards.  Genuinely decreasing times are a caller error.
+        if (t < time_ - kTimeTolerance) {
+            throw InvalidArgument("TransientEvolver::advance_to: t=" + std::to_string(t) +
+                                  " is before the current time " + std::to_string(time_) +
+                                  "; grid times must be non-decreasing");
+        }
+        return;
+    }
     const double dt = t - time_;
     if (dt > 0.0) step(dt);
     time_ = t;

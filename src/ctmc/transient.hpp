@@ -47,7 +47,14 @@ public:
     TransientEvolver(const TransientEvolver&) = delete;
     TransientEvolver& operator=(const TransientEvolver&) = delete;
 
-    /// Advances the internal distribution to absolute time `t` (>= current).
+    /// Tolerance under which a slightly-earlier `t` counts as a duplicate of
+    /// the current grid point rather than a backwards move.
+    static constexpr double kTimeTolerance = 1e-12;
+
+    /// Advances the internal distribution to absolute time `t`.  Duplicate
+    /// grid points — `t` within kTimeTolerance below the current time — are
+    /// a no-op (the time never moves backwards); a `t` earlier than that
+    /// throws InvalidArgument.
     void advance_to(double t);
 
     [[nodiscard]] const std::vector<double>& distribution() const noexcept { return dist_; }

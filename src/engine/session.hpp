@@ -42,6 +42,19 @@ struct SessionStats {
     std::size_t steady_state_misses = 0;
 };
 
+/// Counter delta between two stats() snapshots — how batch consumers (the
+/// sweep runner) attribute cache effectiveness to one run of work against
+/// a long-lived session.
+[[nodiscard]] inline SessionStats operator-(const SessionStats& after,
+                                            const SessionStats& before) {
+    return SessionStats{after.compile_hits - before.compile_hits,
+                        after.compile_misses - before.compile_misses,
+                        after.explore_hits - before.explore_hits,
+                        after.explore_misses - before.explore_misses,
+                        after.steady_state_hits - before.steady_state_hits,
+                        after.steady_state_misses - before.steady_state_misses};
+}
+
 /// Structural fingerprint of a model (stable across identical rebuilds of
 /// the same configuration, e.g. two watertree::line2(FRF-1) calls).
 /// `seed` selects an independent hash stream: cache entries store a second

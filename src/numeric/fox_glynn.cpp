@@ -40,6 +40,13 @@ PoissonWeights fox_glynn(double q, double epsilon) {
         return std::pair<std::size_t, std::size_t>(left, right);
     };
 
+    // Widen until the captured mass actually meets the bound.  The window
+    // grows geometrically, so a handful of iterations suffice for any sane
+    // epsilon.  Beyond ~1e3 sigma the true tail mass is below the smallest
+    // denormal, so a still-unmet bound means epsilon sits under the
+    // summation's own rounding floor: refuse rather than silently return
+    // under-covering weights.  Likewise once the window spans the entire
+    // effective support ([0, 2·mode + 100]) widening cannot add mass.
     double widths = 5.0;
     for (;; widths *= 1.5) {
         const auto [left, right] = window(widths);
@@ -56,18 +63,47 @@ PoissonWeights fox_glynn(double q, double epsilon) {
         for (std::size_t k = m; k < right; ++k) {
             w[k + 1 - left] = w[k - left] * q / static_cast<double>(k + 1);
         }
+        // Neumaier-compensated sum: the window can hold millions of terms
+        // and a naively accumulated total would carry more rounding error
+        // than the epsilons we must certify.
         double total = 0.0;
-        for (double x : w) total += x;
-        // The scaled total corresponds to (truncated mass) / pmf(mode).
-        const double pmode = poisson_pmf(q, m);
-        const double truncated_mass = total * pmode;
-        if (truncated_mass >= 1.0 - epsilon || widths > 100.0) {
+        double comp = 0.0;
+        for (double x : w) {
+            const double t = total + x;
+            comp += std::abs(total) >= std::abs(x) ? (total - t) + x : (x - t) + total;
+            total = t;
+        }
+        total += comp;
+        // Certify coverage via geometric tail bounds in the same scaled
+        // units as the weights.  (total * pmf(mode) is useless here: the
+        // log-pmf cancels ~q-sized terms, so its error alone exceeds tight
+        // epsilons once q is large.)  For k > right the ratio
+        // p_{k+1}/p_k = q/(k+1) <= rr < 1, so the right tail is at most
+        // w_right * rr/(1-rr); symmetrically for the left tail with
+        // p_{k-1}/p_k = k/q <= rl < 1.
+        const double rr = q / (static_cast<double>(right) + 1.0);
+        double tail = w[right - left] * rr / (1.0 - rr);
+        if (left > 0) {
+            const double rl = static_cast<double>(left) / q;
+            tail += w[0] * rl / (1.0 - rl);
+        }
+        const double truncated_mass = 1.0 - tail / total;
+        if (truncated_mass >= 1.0 - epsilon) {
             out.left = left;
             out.right = right;
             out.weights.resize(w.size());
             for (std::size_t i = 0; i < w.size(); ++i) out.weights[i] = w[i] / total;
             out.total_before_norm = std::min(truncated_mass, 1.0);
             return out;
+        }
+        const bool support_covered =
+            left == 0 && static_cast<double>(right) >= 2.0 * mode + 100.0;
+        if (widths > 1.0e3 || support_covered) {
+            throw ConvergenceError(
+                "fox_glynn: cannot capture 1 - epsilon of the Poisson mass for q=" +
+                std::to_string(q) + ", epsilon=" + std::to_string(epsilon) +
+                " (captured " + std::to_string(truncated_mass) + " with window [" +
+                std::to_string(left) + ", " + std::to_string(right) + "])");
         }
     }
 }

@@ -26,7 +26,10 @@ struct PoissonWeights {
 
 /// Computes the Fox–Glynn window and weights for rate `q` ≥ 0 and truncation
 /// error `epsilon` (total missing probability mass).  For q == 0 returns the
-/// degenerate distribution at k = 0.
+/// degenerate distribution at k = 0.  The returned window always satisfies
+/// total_before_norm ≥ 1 - epsilon; if no double-precision window can (the
+/// requested epsilon is below the summation's rounding floor), throws
+/// ConvergenceError instead of silently returning under-covering weights.
 [[nodiscard]] PoissonWeights fox_glynn(double q, double epsilon);
 
 /// Direct Poisson pmf e^{-q} q^k / k!, numerically stable via logs.

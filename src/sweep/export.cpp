@@ -1,0 +1,117 @@
+#include "sweep/export.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+namespace arcade::sweep {
+
+namespace {
+
+/// Shortest round-trip-exact decimal form of a double.
+std::string fmt(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+/// JSON string escaping: quotes, backslashes and control characters (a
+/// caller-supplied ParameterSet name must never corrupt the document).
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+            out += buf;
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+/// RFC-4180 CSV field: quoted (with doubled quotes) when the value holds a
+/// separator, quote or newline.
+std::string csv_field(const std::string& s) {
+    if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"') out += "\"\"";
+        else out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+}
+
+}  // namespace
+
+void write_csv(const SweepReport& report, const ScenarioGrid& grid, std::ostream& os) {
+    os << "line,strategy,parameters,measure,disaster,service_level,t,value\n";
+    for (const auto& r : report.results) {
+        const auto& m = r.item.measure;
+        const std::string prefix =
+            std::to_string(r.item.line) + "," + csv_field(r.item.strategy) + "," +
+            csv_field(grid.parameters[r.item.parameter_index].name) + "," +
+            to_string(m.kind) + "," +
+            to_string(m.disaster) + "," +
+            (m.kind == MeasureKind::Survivability ? fmt(m.service_level) : "") + ",";
+        if (m.is_series()) {
+            for (std::size_t i = 0; i < r.values.size(); ++i) {
+                os << prefix << fmt(m.times[i]) << "," << fmt(r.values[i]) << "\n";
+            }
+        } else {
+            os << prefix << "," << fmt(r.values.front()) << "\n";
+        }
+    }
+    os << "# scenarios=" << report.results.size() << " unique_models="
+       << report.unique_models << " compile_hits=" << report.stats.compile_hits
+       << " compile_misses=" << report.stats.compile_misses
+       << " steady_hits=" << report.stats.steady_state_hits
+       << " steady_misses=" << report.stats.steady_state_misses
+       << " cache_hit_rate=" << fmt(report.cache_hit_rate())
+       << " state_points=" << report.state_points
+       << " states_per_sec=" << fmt(report.states_per_second())
+       << " wall_seconds=" << fmt(report.wall_seconds) << "\n";
+}
+
+void write_json(const SweepReport& report, const ScenarioGrid& grid, std::ostream& os) {
+    os << "{\n  \"counters\": {\n"
+       << "    \"scenarios\": " << report.results.size() << ",\n"
+       << "    \"unique_models\": " << report.unique_models << ",\n"
+       << "    \"compile_hits\": " << report.stats.compile_hits << ",\n"
+       << "    \"compile_misses\": " << report.stats.compile_misses << ",\n"
+       << "    \"steady_state_hits\": " << report.stats.steady_state_hits << ",\n"
+       << "    \"steady_state_misses\": " << report.stats.steady_state_misses << ",\n"
+       << "    \"cache_hit_rate\": " << fmt(report.cache_hit_rate()) << ",\n"
+       << "    \"state_points\": " << report.state_points << ",\n"
+       << "    \"states_per_second\": " << fmt(report.states_per_second()) << ",\n"
+       << "    \"wall_seconds\": " << fmt(report.wall_seconds) << "\n  },\n"
+       << "  \"results\": [\n";
+    for (std::size_t i = 0; i < report.results.size(); ++i) {
+        const auto& r = report.results[i];
+        const auto& m = r.item.measure;
+        os << "    {\"line\": " << r.item.line << ", \"strategy\": \""
+           << json_escape(r.item.strategy) << "\", \"parameters\": \""
+           << json_escape(grid.parameters[r.item.parameter_index].name)
+           << "\", \"measure\": \"" << to_string(m.kind) << "\", \"disaster\": \""
+           << to_string(m.disaster) << "\", \"service_level\": " << fmt(m.service_level)
+           << ", \"model_states\": " << r.model_states
+           << ", \"seconds\": " << fmt(r.seconds) << ",\n     \"times\": [";
+        for (std::size_t k = 0; k < m.times.size(); ++k) {
+            os << (k > 0 ? ", " : "") << fmt(m.times[k]);
+        }
+        os << "], \"values\": [";
+        for (std::size_t k = 0; k < r.values.size(); ++k) {
+            os << (k > 0 ? ", " : "") << fmt(r.values[k]);
+        }
+        os << "]}" << (i + 1 < report.results.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+}  // namespace arcade::sweep

@@ -1,0 +1,24 @@
+// Result export for scenario sweeps: a flat CSV (one row per solved point,
+// gnuplot/pandas-friendly) and a structured JSON document, both carrying
+// the run's cache-effectiveness and throughput counters so downstream
+// tooling can track engine regressions alongside the numbers.
+#ifndef ARCADE_SWEEP_EXPORT_HPP
+#define ARCADE_SWEEP_EXPORT_HPP
+
+#include <iosfwd>
+
+#include "sweep/runner.hpp"
+
+namespace arcade::sweep {
+
+/// Header `line,strategy,parameters,measure,disaster,service_level,t,value`;
+/// scalar measures emit one row with an empty `t` column.  Doubles are
+/// round-trip exact (%.17g).
+void write_csv(const SweepReport& report, const ScenarioGrid& grid, std::ostream& os);
+
+/// One JSON object: {"counters": {...}, "results": [{..., "values": [...]}]}.
+void write_json(const SweepReport& report, const ScenarioGrid& grid, std::ostream& os);
+
+}  // namespace arcade::sweep
+
+#endif  // ARCADE_SWEEP_EXPORT_HPP

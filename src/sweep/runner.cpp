@@ -1,0 +1,225 @@
+#include "sweep/runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "arcade/measures.hpp"
+#include "engine/explore.hpp"
+#include "support/errors.hpp"
+
+namespace arcade::sweep {
+
+namespace {
+
+double now_seconds() {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/// Per-thread deques with stealing: a worker pops its own newest task
+/// (back, cache-warm) and steals the oldest (front) from a victim, the
+/// classic Chase–Lev discipline in its simple mutexed form — sweep tasks
+/// are milliseconds long, so contention on the per-deque mutex is noise.
+class WorkQueues {
+public:
+    explicit WorkQueues(std::size_t workers) : queues_(workers) {}
+
+    void push(std::size_t owner, std::size_t task) {
+        std::lock_guard<std::mutex> lock(queues_[owner].mutex);
+        queues_[owner].tasks.push_back(task);
+    }
+
+    /// Own-queue pop, then steal scan starting after the caller.  Returns
+    /// false only when every deque is empty.
+    bool pop(std::size_t self, std::size_t& task) {
+        {
+            auto& own = queues_[self];
+            std::lock_guard<std::mutex> lock(own.mutex);
+            if (!own.tasks.empty()) {
+                task = own.tasks.back();
+                own.tasks.pop_back();
+                return true;
+            }
+        }
+        for (std::size_t i = 1; i < queues_.size(); ++i) {
+            auto& victim = queues_[(self + i) % queues_.size()];
+            std::lock_guard<std::mutex> lock(victim.mutex);
+            if (!victim.tasks.empty()) {
+                task = victim.tasks.front();
+                victim.tasks.pop_front();
+                return true;
+            }
+        }
+        return false;
+    }
+
+private:
+    struct Deque {
+        std::mutex mutex;
+        std::deque<std::size_t> tasks;
+    };
+    std::vector<Deque> queues_;
+};
+
+/// Runs `task(index)` over [0, count) on `workers` threads with stealing.
+/// Tasks are dealt round-robin so related neighbours spread out; the first
+/// exception wins and is rethrown on the caller's thread.
+void run_stealing(std::size_t workers, std::size_t count,
+                  const std::function<void(std::size_t)>& task) {
+    if (count == 0) return;
+    workers = std::clamp<std::size_t>(workers, 1, count);
+    if (workers == 1) {
+        for (std::size_t i = 0; i < count; ++i) task(i);
+        return;
+    }
+    WorkQueues queues(workers);
+    for (std::size_t i = 0; i < count; ++i) queues.push(i % workers, i);
+
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+        pool.emplace_back([&, w] {
+            std::size_t index = 0;
+            while (queues.pop(w, index)) {
+                try {
+                    task(index);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(error_mutex);
+                    if (!first_error) first_error = std::current_exception();
+                }
+            }
+        });
+    }
+    for (auto& t : pool) t.join();
+    if (first_error) std::rethrow_exception(first_error);
+}
+
+core::Disaster make_disaster(DisasterKind kind, const core::CompiledModel& model) {
+    switch (kind) {
+        case DisasterKind::None: {
+            // The all-zeros disaster: nothing failed, the measure starts
+            // from the all-up state.
+            core::Disaster d;
+            d.name = "none";
+            d.failed_per_phase.assign(model.model().phases.size(), 0);
+            return d;
+        }
+        case DisasterKind::AllPumps: return watertree::disaster1(model.model());
+        case DisasterKind::Mixed: return watertree::disaster2();
+    }
+    throw InvalidArgument("unknown DisasterKind");
+}
+
+engine::AnalysisSession::CompiledPtr compile_item(engine::AnalysisSession& session,
+                                                  const ScenarioGrid& grid,
+                                                  const WorkItem& item) {
+    const auto& strat = watertree::strategy(item.strategy);
+    const auto& params = grid.parameters[item.parameter_index].params;
+    if (item.measure.kind == MeasureKind::Reliability) {
+        core::CompileOptions options;
+        options.encoding = grid.encoding;
+        return session.compile(
+            core::without_repair(watertree::line(item.line, strat, params)), options);
+    }
+    return watertree::compile_line(session, item.line, strat, grid.encoding, params);
+}
+
+ScenarioResult evaluate(engine::AnalysisSession& session, const ScenarioGrid& grid,
+                        const WorkItem& item) {
+    const double t0 = now_seconds();
+    const auto model = compile_item(session, grid, item);
+    const auto transient = core::session_transient(session);
+
+    ScenarioResult result;
+    result.item = item;
+    result.model_states = model->state_count();
+    switch (item.measure.kind) {
+        case MeasureKind::Availability:
+            result.values = {core::availability(session, model)};
+            break;
+        case MeasureKind::SteadyStateCost:
+            result.values = {core::steady_state_cost(session, model)};
+            break;
+        case MeasureKind::Reliability:
+            result.values = core::reliability_series(*model, item.measure.times, transient);
+            break;
+        case MeasureKind::Survivability:
+            result.values = core::survivability_series(
+                *model, make_disaster(item.measure.disaster, *model),
+                item.measure.service_level, item.measure.times, transient);
+            break;
+        case MeasureKind::InstantaneousCost:
+            result.values = core::instantaneous_cost_series(
+                *model, make_disaster(item.measure.disaster, *model), item.measure.times,
+                transient);
+            break;
+        case MeasureKind::AccumulatedCost:
+            result.values = core::accumulated_cost_series(
+                *model, make_disaster(item.measure.disaster, *model), item.measure.times,
+                transient);
+            break;
+    }
+    result.seconds = now_seconds() - t0;
+    return result;
+}
+
+}  // namespace
+
+SweepReport SweepRunner::run(const ScenarioGrid& grid) {
+    return run(grid, expand(grid));
+}
+
+SweepReport SweepRunner::run(const ScenarioGrid& grid, const std::vector<WorkItem>& items) {
+    for (const auto& item : items) {
+        if (item.parameter_index >= grid.parameters.size()) {
+            throw InvalidArgument("SweepRunner: work item '" + item.key() +
+                                  "' indexes parameter set " +
+                                  std::to_string(item.parameter_index) +
+                                  " but the grid has " +
+                                  std::to_string(grid.parameters.size()));
+        }
+    }
+    const double t0 = now_seconds();
+    const auto stats_before = session_.stats();
+    const std::size_t workers = engine::resolve_threads(options_.threads);
+
+    // Phase 1: compile each unique model prefix exactly once.  Without this
+    // barrier two work items sharing a prefix could race into the session
+    // cache and compile the same model twice.
+    std::map<std::string, std::size_t> unique_models;  // model key -> first item
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        unique_models.emplace(items[i].model_key(), i);
+    }
+    std::vector<std::size_t> to_compile;
+    to_compile.reserve(unique_models.size());
+    for (const auto& [key, index] : unique_models) to_compile.push_back(index);
+    run_stealing(workers, to_compile.size(), [&](std::size_t i) {
+        (void)compile_item(session_, grid, items[to_compile[i]]);
+    });
+
+    // Phase 2: evaluate every cell; results land in grid order by index.
+    SweepReport report;
+    report.results.resize(items.size());
+    run_stealing(workers, items.size(), [&](std::size_t i) {
+        report.results[i] = evaluate(session_, grid, items[i]);
+    });
+
+    report.unique_models = unique_models.size();
+    for (const auto& r : report.results) {
+        report.state_points += r.model_states * std::max<std::size_t>(r.values.size(), 1);
+    }
+    report.stats = session_.stats() - stats_before;
+    report.wall_seconds = now_seconds() - t0;
+    return report;
+}
+
+}  // namespace arcade::sweep

@@ -1,0 +1,79 @@
+// Parallel execution of expanded scenario grids over one AnalysisSession.
+//
+// Two phases, both work-stealing over per-thread deques:
+//
+//   1. every *unique* model prefix of the grid is compiled exactly once
+//      (through the session, so a repeated sweep — or a prefix another
+//      harness already compiled — is a pure cache hit);
+//   2. the measures evaluate in parallel, each series walking its whole
+//      time grid with a single TransientEvolver.
+//
+// Results land in deterministic grid order regardless of thread count or
+// steal pattern: workers write into a pre-sized slot per work item.  The
+// report carries the session-counter delta (cache effectiveness) and a
+// states/sec throughput figure for the perf harnesses.
+#ifndef ARCADE_SWEEP_RUNNER_HPP
+#define ARCADE_SWEEP_RUNNER_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "engine/session.hpp"
+#include "sweep/scenario.hpp"
+
+namespace arcade::sweep {
+
+/// One evaluated grid cell.  `values` has one entry per time-grid point for
+/// series measures and exactly one entry for scalar measures.
+struct ScenarioResult {
+    WorkItem item;
+    std::vector<double> values;
+    std::size_t model_states = 0;  ///< state count of the compiled model
+    double seconds = 0.0;          ///< wall time of this cell's evaluation
+};
+
+struct SweepReport {
+    std::vector<ScenarioResult> results;  ///< deterministic grid order
+    engine::SessionStats stats;           ///< session-counter delta for this run
+    double wall_seconds = 0.0;
+    std::size_t unique_models = 0;  ///< distinct compiled-model prefixes
+    std::size_t state_points = 0;   ///< sum of model states × grid points solved
+
+    /// Solved state-points per second of wall time (0 when degenerate).
+    [[nodiscard]] double states_per_second() const noexcept {
+        return wall_seconds > 0.0 ? static_cast<double>(state_points) / wall_seconds : 0.0;
+    }
+    /// Fraction of compile + steady-state requests served from cache.
+    [[nodiscard]] double cache_hit_rate() const noexcept {
+        const std::size_t hits = stats.compile_hits + stats.steady_state_hits;
+        const std::size_t total = hits + stats.compile_misses + stats.steady_state_misses;
+        return total > 0 ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+    }
+};
+
+struct RunnerOptions {
+    unsigned threads = 0;  ///< worker threads; 0 = hardware concurrency
+};
+
+class SweepRunner {
+public:
+    explicit SweepRunner(engine::AnalysisSession& session, RunnerOptions options = {})
+        : session_(session), options_(options) {}
+
+    /// expand()s the grid and evaluates every work item.  The first worker
+    /// exception (e.g. an inconsistent disaster) is rethrown after the pool
+    /// drains.
+    [[nodiscard]] SweepReport run(const ScenarioGrid& grid);
+
+    /// Evaluates pre-expanded items (callers that filter or re-order cells).
+    [[nodiscard]] SweepReport run(const ScenarioGrid& grid,
+                                  const std::vector<WorkItem>& items);
+
+private:
+    engine::AnalysisSession& session_;
+    RunnerOptions options_;
+};
+
+}  // namespace arcade::sweep
+
+#endif  // ARCADE_SWEEP_RUNNER_HPP

@@ -1,0 +1,136 @@
+#include "sweep/scenario.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <unordered_set>
+
+#include "support/errors.hpp"
+
+namespace arcade::sweep {
+
+namespace {
+
+/// Exact textual identity of a double (bit pattern): dedup keys must not
+/// merge distinct service levels or grids that round to the same decimals.
+std::string bits_string(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    return std::to_string(bits);
+}
+
+std::string times_key(const std::vector<double>& times) {
+    std::uint64_t h = 1469598103934665603ull;
+    for (const double t : times) {
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &t, sizeof bits);
+        h ^= bits;
+        h *= 1099511628211ull;
+    }
+    return std::to_string(times.size()) + ":" + std::to_string(h);
+}
+
+}  // namespace
+
+std::string to_string(MeasureKind kind) {
+    switch (kind) {
+        case MeasureKind::Availability: return "availability";
+        case MeasureKind::SteadyStateCost: return "steady-state-cost";
+        case MeasureKind::Reliability: return "reliability";
+        case MeasureKind::Survivability: return "survivability";
+        case MeasureKind::InstantaneousCost: return "instantaneous-cost";
+        case MeasureKind::AccumulatedCost: return "accumulated-cost";
+    }
+    throw InvalidArgument("unknown MeasureKind");
+}
+
+std::string to_string(DisasterKind kind) {
+    switch (kind) {
+        case DisasterKind::None: return "none";
+        case DisasterKind::AllPumps: return "disaster1";
+        case DisasterKind::Mixed: return "disaster2";
+    }
+    throw InvalidArgument("unknown DisasterKind");
+}
+
+std::string WorkItem::model_key() const {
+    std::string key = "line" + std::to_string(line) + "/" + strategy + "/p" +
+                      std::to_string(parameter_index);
+    // Reliability strips the repair units, so it compiles its own model even
+    // when another measure shares the (line, strategy, parameters) cell.
+    if (measure.kind == MeasureKind::Reliability) key += "/norepair";
+    return key;
+}
+
+std::string WorkItem::key() const {
+    std::string key = model_key() + "/" + to_string(measure.kind) + "/" +
+                      to_string(measure.disaster);
+    if (measure.kind == MeasureKind::Survivability) {
+        key += "/x=" + bits_string(measure.service_level);
+    }
+    if (measure.is_series()) key += "/t=" + times_key(measure.times);
+    return key;
+}
+
+namespace {
+
+/// Throws on malformed measures; returns false for cells the cross-product
+/// prunes (a disaster undefined for the line).
+bool validate(int line, const MeasureSpec& measure) {
+    if (line != 1 && line != 2) {
+        throw InvalidArgument("ScenarioGrid: line number must be 1 or 2, got " +
+                              std::to_string(line));
+    }
+    if (measure.kind == MeasureKind::Reliability &&
+        measure.disaster != DisasterKind::None) {
+        throw InvalidArgument(
+            "ScenarioGrid: reliability starts from the all-up state; it cannot take a "
+            "disaster");
+    }
+    if (measure.is_series()) {
+        if (measure.times.empty()) {
+            throw InvalidArgument("ScenarioGrid: series measure " +
+                                  to_string(measure.kind) + " needs a time grid");
+        }
+        for (std::size_t i = 0; i < measure.times.size(); ++i) {
+            if (measure.times[i] < 0.0 ||
+                (i > 0 && measure.times[i] < measure.times[i - 1])) {
+                throw InvalidArgument("ScenarioGrid: time grid must be ascending and "
+                                      "non-negative");
+            }
+        }
+    }
+    // Disaster 2 is defined on Line 2 only (paper Section 5): the cell is
+    // pruned, not an error, so one spec can cover both lines.
+    return !(measure.disaster == DisasterKind::Mixed && line != 2);
+}
+
+}  // namespace
+
+std::vector<WorkItem> expand(const ScenarioGrid& grid) {
+    // An empty dimension would make the whole sweep a silent no-op; every
+    // axis of the cross-product must be populated.
+    if (grid.lines.empty()) throw InvalidArgument("ScenarioGrid: no lines");
+    if (grid.strategies.empty()) throw InvalidArgument("ScenarioGrid: no strategies");
+    if (grid.measures.empty()) throw InvalidArgument("ScenarioGrid: no measures");
+    if (grid.parameters.empty()) {
+        throw InvalidArgument("ScenarioGrid: at least one parameter set is required");
+    }
+    std::vector<WorkItem> items;
+    std::unordered_set<std::string> seen;
+    for (const int line : grid.lines) {
+        for (const auto& name : grid.strategies) {
+            (void)watertree::strategy(name);  // throws on unknown names, eagerly
+            for (std::size_t p = 0; p < grid.parameters.size(); ++p) {
+                for (const auto& measure : grid.measures) {
+                    if (!validate(line, measure)) continue;
+                    WorkItem item{line, name, p, measure};
+                    if (!item.measure.is_series()) item.measure.times.clear();
+                    if (seen.insert(item.key()).second) items.push_back(std::move(item));
+                }
+            }
+        }
+    }
+    return items;
+}
+
+}  // namespace arcade::sweep

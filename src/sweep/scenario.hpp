@@ -1,0 +1,99 @@
+// Declarative scenario grids over the water-treatment case study.
+//
+// The paper's evaluation is a cross-product: every figure and table walks
+// (line × strategy × measure × time grid), and Section 5 adds parameter
+// perturbations on top.  Instead of each harness hand-rolling those loops,
+// a ScenarioGrid states the cross-product once and expand() flattens it
+// into deduplicated WorkItems the parallel runner executes through one
+// engine::AnalysisSession — so every work item sharing a
+// (line, strategy, encoding, parameters) prefix reuses one CompiledModel
+// and one steady-state solve.
+#ifndef ARCADE_SWEEP_SCENARIO_HPP
+#define ARCADE_SWEEP_SCENARIO_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "arcade/compiler.hpp"
+#include "watertree/watertree.hpp"
+
+namespace arcade::sweep {
+
+/// The measures a scenario can evaluate (the paper's Sections 4–5).
+enum class MeasureKind {
+    Availability,       ///< scalar: S=?["operational"]
+    SteadyStateCost,    ///< scalar: long-run expected cost rate
+    Reliability,        ///< series: repairs stripped, P[never left full service]
+    Survivability,      ///< series: P[service >= level within t | disaster]
+    InstantaneousCost,  ///< series: E[cost rate at t | disaster]
+    AccumulatedCost,    ///< series: E[cost over [0,t] | disaster]
+};
+
+[[nodiscard]] std::string to_string(MeasureKind kind);
+
+/// Which disaster seeds a GOOD-model measure.
+enum class DisasterKind {
+    None,      ///< measure starts from the all-up state
+    AllPumps,  ///< paper Disaster 1 (derived per line)
+    Mixed,     ///< paper Disaster 2 (Line 2 only)
+};
+
+[[nodiscard]] std::string to_string(DisasterKind kind);
+
+/// One measure requested of every (line, strategy, parameters) cell.
+/// Scalar measures ignore `times`; series measures evaluate the whole grid
+/// with a single TransientEvolver (stepping point to point).
+struct MeasureSpec {
+    MeasureKind kind = MeasureKind::Availability;
+    DisasterKind disaster = DisasterKind::None;
+    double service_level = 1.0;  ///< survivability recovery target
+    std::vector<double> times;   ///< ascending; empty for scalar measures
+
+    [[nodiscard]] bool is_series() const noexcept {
+        return kind != MeasureKind::Availability && kind != MeasureKind::SteadyStateCost;
+    }
+};
+
+/// A named parameter perturbation (the identity perturbation is the paper's
+/// baseline).  Named so result rows stay self-describing.
+struct ParameterSet {
+    std::string name = "paper";
+    watertree::Parameters params;
+};
+
+/// The declarative cross-product.  Lines, strategies and parameter sets
+/// multiply; each resulting model cell evaluates every measure.
+struct ScenarioGrid {
+    std::vector<int> lines;                  ///< {1}, {2} or {1, 2}
+    std::vector<std::string> strategies;     ///< paper names ("DED", "FRF-1", ...)
+    std::vector<ParameterSet> parameters = {ParameterSet{}};
+    core::Encoding encoding = core::Encoding::Lumped;
+    std::vector<MeasureSpec> measures;
+};
+
+/// One executable cell of the expanded grid.
+struct WorkItem {
+    int line = 0;
+    std::string strategy;
+    std::size_t parameter_index = 0;  ///< into ScenarioGrid::parameters
+    MeasureSpec measure;
+
+    /// Stable identity used for deduplication and result labelling.
+    [[nodiscard]] std::string key() const;
+    /// Identity of the compiled-model prefix shared with other items.
+    [[nodiscard]] std::string model_key() const;
+};
+
+/// Flattens `grid` into work items in deterministic grid order
+/// (line-major, then strategy, parameter set, measure), dropping exact
+/// duplicates (same line, strategy, parameters and measure).  Cells whose
+/// disaster is undefined for the line (Mixed on Line 1) are pruned, so one
+/// spec can span both lines.  Malformed specs — unknown strategy names,
+/// unsorted time grids, a reliability measure with a disaster — throw
+/// InvalidArgument here, not mid-run.
+[[nodiscard]] std::vector<WorkItem> expand(const ScenarioGrid& grid);
+
+}  // namespace arcade::sweep
+
+#endif  // ARCADE_SWEEP_SCENARIO_HPP

@@ -1,0 +1,10 @@
+// Umbrella header for the scenario-sweep subsystem: declare a grid
+// (scenario.hpp), run it (runner.hpp), export the results (export.hpp).
+#ifndef ARCADE_SWEEP_SWEEP_HPP
+#define ARCADE_SWEEP_SWEEP_HPP
+
+#include "sweep/export.hpp"
+#include "sweep/runner.hpp"
+#include "sweep/scenario.hpp"
+
+#endif  // ARCADE_SWEEP_SWEEP_HPP

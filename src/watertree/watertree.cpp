@@ -20,7 +20,13 @@ const Strategy& strategy(const std::string& name) {
     for (const auto& s : all) {
         if (s.name == name) return s;
     }
-    throw InvalidArgument("unknown repair strategy '" + name + "'");
+    std::string valid;
+    for (const auto& s : all) {
+        if (!valid.empty()) valid += ", ";
+        valid += s.name;
+    }
+    throw InvalidArgument("unknown repair strategy '" + name + "' (valid names: " + valid +
+                          ")");
 }
 
 namespace {

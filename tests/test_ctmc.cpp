@@ -2,11 +2,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <random>
 
 #include "ctmc/bounded_until.hpp"
 #include "ctmc/ctmc.hpp"
 #include "ctmc/steady_state.hpp"
 #include "ctmc/transient.hpp"
+#include "support/errors.hpp"
 
 namespace ctmc = arcade::ctmc;
 namespace la = arcade::linalg;
@@ -185,6 +187,72 @@ TEST(BoundedUntil, SeriesIsMonotoneAndMatchesPointSolves) {
         EXPECT_GE(series[i] + 1e-12, series[i - 1]);  // monotone in t
     }
     EXPECT_NEAR(series[0], 0.0, 1e-12);
+}
+
+TEST(Transient, AdvanceToDuplicateTimeIsANoOp) {
+    const auto chain = two_state(0.7, 0.9);
+    ctmc::TransientEvolver evolver(chain, chain.initial_distribution());
+    evolver.advance_to(1.0);
+    const auto at_one = evolver.distribution();
+    evolver.advance_to(1.0);             // exact duplicate
+    evolver.advance_to(1.0 - 0.5e-12);   // duplicate within tolerance
+    EXPECT_DOUBLE_EQ(evolver.time(), 1.0);  // time never moves backwards
+    EXPECT_EQ(evolver.distribution(), at_one);
+}
+
+TEST(Transient, AdvanceToDecreasingTimeThrows) {
+    const auto chain = two_state(0.7, 0.9);
+    ctmc::TransientEvolver evolver(chain, chain.initial_distribution());
+    evolver.advance_to(2.0);
+    EXPECT_THROW(evolver.advance_to(1.0), arcade::InvalidArgument);
+    EXPECT_DOUBLE_EQ(evolver.time(), 2.0);  // failed call left the state alone
+}
+
+TEST(BoundedUntil, AllStatesOnZeroRateChainIsExactIndicator) {
+    // With phi empty every state of the transformed chain is absorbing: the
+    // result must be the exact psi indicator, not a near-zero-rate
+    // uniformisation approximation of it.
+    la::CsrBuilder b(3, 3);
+    b.add(0, 1, 1.0);
+    b.add(1, 2, 2.0);
+    const ctmc::Ctmc chain(b.build(), {1.0, 0.0, 0.0});
+    std::vector<bool> phi{false, false, false};
+    std::vector<bool> psi{true, false, true};
+    const auto v = ctmc::bounded_until_all_states(chain, phi, psi, 10.0);
+    EXPECT_DOUBLE_EQ(v[0], 1.0);
+    EXPECT_DOUBLE_EQ(v[1], 0.0);
+    EXPECT_DOUBLE_EQ(v[2], 1.0);
+}
+
+TEST(BoundedUntil, ForwardBackwardAgreeOnRandomChains) {
+    // Property: for any chain, bounded_until_probability from a point
+    // distribution at s equals bounded_until_all_states(...)[s].
+    std::mt19937 rng(20260729);
+    std::uniform_real_distribution<double> rate(0.1, 3.0);
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+    for (int trial = 0; trial < 8; ++trial) {
+        const std::size_t n = 3 + static_cast<std::size_t>(trial) % 4;
+        la::CsrBuilder b(n, n);
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = 0; j < n; ++j) {
+                if (i != j && unit(rng) < 0.5) b.add(i, j, rate(rng));
+            }
+        }
+        const ctmc::Ctmc chain(b.build(), ctmc::Ctmc::point_distribution(n, 0));
+        std::vector<bool> phi(n), psi(n);
+        for (std::size_t s = 0; s < n; ++s) {
+            phi[s] = unit(rng) < 0.7;
+            psi[s] = unit(rng) < 0.3;
+        }
+        const double t = 0.25 + 2.0 * unit(rng);
+        const auto per_state = ctmc::bounded_until_all_states(chain, phi, psi, t);
+        for (std::size_t s = 0; s < n; ++s) {
+            const auto init = ctmc::Ctmc::point_distribution(n, s);
+            EXPECT_NEAR(per_state[s],
+                        ctmc::bounded_until_probability(chain, init, phi, psi, t), 1e-9)
+                << "trial=" << trial << " s=" << s;
+        }
+    }
 }
 
 TEST(Ctmc, MakeAbsorbingDropsTransitions) {

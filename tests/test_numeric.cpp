@@ -45,6 +45,18 @@ TEST_P(FoxGlynnSweep, WindowContainsTheMode) {
 INSTANTIATE_TEST_SUITE_P(Rates, FoxGlynnSweep,
                          ::testing::Values(0.01, 0.5, 1.0, 4.2, 25.0, 100.0, 1000.0, 10000.0));
 
+TEST(FoxGlynn, LargeRateCapturesRequestedMass) {
+    // Regression: the widening loop used to give up at a fixed width and
+    // silently return under-covering weights once q·t grew large.
+    for (double q : {1.0e5, 1.0e6, 2.0e7}) {
+        const auto w = num::fox_glynn(q, 1e-12);
+        EXPECT_GE(w.total_before_norm, 1.0 - 1e-12) << "q=" << q;
+        double total = 0.0;
+        for (double x : w.weights) total += x;
+        EXPECT_NEAR(total, 1.0, 1e-9) << "q=" << q;
+    }
+}
+
 TEST(PoissonPmf, MatchesDirectFormulaForSmallK) {
     EXPECT_NEAR(num::poisson_pmf(2.0, 0), std::exp(-2.0), 1e-15);
     EXPECT_NEAR(num::poisson_pmf(2.0, 1), 2.0 * std::exp(-2.0), 1e-15);

@@ -1,0 +1,231 @@
+// Unit tests: scenario-grid expansion, the work-stealing runner and result
+// export — including the sweep-vs-handwritten identity on the paper's
+// Table 2 line-2 cell (the sweep layer must subsume the bench harnesses
+// bit-for-bit, not just approximately).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "arcade/measures.hpp"
+#include "support/errors.hpp"
+#include "support/series.hpp"
+#include "sweep/sweep.hpp"
+
+namespace core = arcade::core;
+namespace engine = arcade::engine;
+namespace sweep = arcade::sweep;
+namespace wt = arcade::watertree;
+
+namespace {
+
+sweep::ScenarioGrid table2_line2_ded() {
+    sweep::ScenarioGrid grid;
+    grid.lines = {2};
+    grid.strategies = {"DED"};
+    grid.measures = {{sweep::MeasureKind::Availability, sweep::DisasterKind::None, 1.0, {}}};
+    return grid;
+}
+
+}  // namespace
+
+TEST(ScenarioGrid, ExpandIsTheDeduplicatedCrossProduct) {
+    sweep::ScenarioGrid grid;
+    grid.lines = {1, 2};
+    grid.strategies = {"DED", "FRF-1"};
+    grid.measures = {
+        {sweep::MeasureKind::Availability, sweep::DisasterKind::None, 1.0, {}},
+        {sweep::MeasureKind::Availability, sweep::DisasterKind::None, 1.0, {}},  // dup
+        {sweep::MeasureKind::SteadyStateCost, sweep::DisasterKind::None, 1.0, {}},
+    };
+    const auto items = sweep::expand(grid);
+    EXPECT_EQ(items.size(), 2u * 2u * 2u);  // duplicate measure dropped
+    EXPECT_EQ(items.front().line, 1);
+    EXPECT_EQ(items.front().strategy, "DED");
+    EXPECT_EQ(items.back().line, 2);
+    EXPECT_EQ(items.back().strategy, "FRF-1");
+}
+
+TEST(ScenarioGrid, MixedDisasterIsPrunedOffLine1NotAnError) {
+    sweep::ScenarioGrid grid;
+    grid.lines = {1, 2};
+    grid.strategies = {"DED"};
+    grid.measures = {{sweep::MeasureKind::Survivability, sweep::DisasterKind::Mixed,
+                      1.0 / 3.0, {0.0, 1.0}}};
+    const auto items = sweep::expand(grid);
+    ASSERT_EQ(items.size(), 1u);
+    EXPECT_EQ(items.front().line, 2);
+}
+
+TEST(ScenarioGrid, MalformedSpecsThrowEagerly) {
+    auto grid = table2_line2_ded();
+    grid.strategies = {"NOT-A-STRATEGY"};
+    EXPECT_THROW((void)sweep::expand(grid), arcade::InvalidArgument);
+
+    grid = table2_line2_ded();
+    grid.lines = {3};
+    EXPECT_THROW((void)sweep::expand(grid), arcade::InvalidArgument);
+
+    grid = table2_line2_ded();
+    grid.measures = {{sweep::MeasureKind::Survivability, sweep::DisasterKind::Mixed,
+                      1.0 / 3.0, {}}};  // series without a time grid
+    EXPECT_THROW((void)sweep::expand(grid), arcade::InvalidArgument);
+
+    grid = table2_line2_ded();
+    grid.measures = {{sweep::MeasureKind::Survivability, sweep::DisasterKind::Mixed,
+                      1.0 / 3.0, {2.0, 1.0}}};  // descending grid
+    EXPECT_THROW((void)sweep::expand(grid), arcade::InvalidArgument);
+
+    grid = table2_line2_ded();
+    grid.measures = {{sweep::MeasureKind::Reliability, sweep::DisasterKind::AllPumps, 1.0,
+                      {0.0, 1.0}}};  // reliability cannot take a disaster
+    EXPECT_THROW((void)sweep::expand(grid), arcade::InvalidArgument);
+
+    grid = table2_line2_ded();
+    grid.parameters.clear();  // empty parameters: zero items would be silent
+    EXPECT_THROW((void)sweep::expand(grid), arcade::InvalidArgument);
+}
+
+TEST(SweepRunner, RejectsItemsPointingOutsideTheGridsParameters) {
+    engine::AnalysisSession session;
+    sweep::SweepRunner runner(session);
+    const auto grid = table2_line2_ded();
+    auto items = sweep::expand(grid);
+    items.front().parameter_index = 7;
+    EXPECT_THROW((void)runner.run(grid, items), arcade::InvalidArgument);
+}
+
+TEST(SweepRunner, Table2Line2CellMatchesHandwrittenBenchExactly) {
+    // The line-2 Table 2 cell, exactly as bench_table2_availability computes
+    // it by hand: session-cached lumped compile + cached steady state.  The
+    // sweep must return the identical double, not a close one.
+    engine::AnalysisSession session;
+    sweep::SweepRunner runner(session);
+    const auto report = runner.run(table2_line2_ded());
+    ASSERT_EQ(report.results.size(), 1u);
+    ASSERT_EQ(report.results.front().values.size(), 1u);
+
+    core::CompileOptions lumped;
+    lumped.encoding = core::Encoding::Lumped;
+    const double by_hand = core::availability(
+        session, session.compile(wt::line2(wt::strategy("DED")), lumped));
+    EXPECT_EQ(report.results.front().values.front(), by_hand);
+
+    // and it lands on the paper's digits (Table 2, line 2, DED)
+    EXPECT_NEAR(report.results.front().values.front(), 0.8186317, 1e-7);
+}
+
+TEST(SweepRunner, SurvivabilitySeriesMatchesDirectEvaluation) {
+    engine::AnalysisSession session;
+    const auto times = arcade::time_grid(10.0, 11);
+    sweep::ScenarioGrid grid;
+    grid.lines = {2};
+    grid.strategies = {"FRF-1"};
+    grid.measures = {{sweep::MeasureKind::Survivability, sweep::DisasterKind::Mixed,
+                      1.0 / 3.0, times}};
+    sweep::SweepRunner runner(session);
+    const auto report = runner.run(grid);
+    ASSERT_EQ(report.results.size(), 1u);
+
+    const auto model = wt::compile_line(session, 2, wt::strategy("FRF-1"),
+                                        core::Encoding::Lumped);
+    const auto direct = core::survivability_series(*model, wt::disaster2(), 1.0 / 3.0,
+                                                   times, core::session_transient(session));
+    EXPECT_EQ(report.results.front().values, direct);
+}
+
+TEST(SweepRunner, ResultsAreDeterministicAcrossThreadCounts) {
+    const auto times = arcade::time_grid(5.0, 6);
+    sweep::ScenarioGrid grid;
+    grid.lines = {1, 2};
+    grid.strategies = {"DED", "FRF-1", "FFF-2"};
+    grid.measures = {
+        {sweep::MeasureKind::Availability, sweep::DisasterKind::None, 1.0, {}},
+        {sweep::MeasureKind::Survivability, sweep::DisasterKind::AllPumps, 1.0 / 3.0,
+         times},
+    };
+    engine::AnalysisSession serial_session;
+    sweep::SweepRunner serial(serial_session, {1u});
+    engine::AnalysisSession parallel_session;
+    sweep::SweepRunner parallel(parallel_session, {4u});
+    const auto a = serial.run(grid);
+    const auto b = parallel.run(grid);
+    ASSERT_EQ(a.results.size(), b.results.size());
+    for (std::size_t i = 0; i < a.results.size(); ++i) {
+        EXPECT_EQ(a.results[i].item.key(), b.results[i].item.key()) << i;
+        EXPECT_EQ(a.results[i].values, b.results[i].values) << a.results[i].item.key();
+    }
+}
+
+TEST(SweepRunner, SharedPrefixesCompileOnceAndRepeatSweepsHitCache) {
+    engine::AnalysisSession session;
+    sweep::ScenarioGrid grid;
+    grid.lines = {2};
+    grid.strategies = {"DED", "FRF-1"};
+    grid.measures = {
+        {sweep::MeasureKind::Availability, sweep::DisasterKind::None, 1.0, {}},
+        {sweep::MeasureKind::SteadyStateCost, sweep::DisasterKind::None, 1.0, {}},
+    };
+    sweep::SweepRunner runner(session);
+    const auto first = runner.run(grid);
+    EXPECT_EQ(first.unique_models, 2u);
+    EXPECT_EQ(first.stats.compile_misses, 2u);      // one per unique model
+    EXPECT_EQ(first.stats.steady_state_misses, 2u); // shared by both measures
+    EXPECT_EQ(first.stats.steady_state_hits, 2u);
+    EXPECT_GT(first.cache_hit_rate(), 0.0);
+
+    const auto second = runner.run(grid);
+    EXPECT_EQ(second.stats.compile_misses, 0u);  // everything cached now
+    EXPECT_EQ(second.stats.steady_state_misses, 0u);
+    for (std::size_t i = 0; i < first.results.size(); ++i) {
+        EXPECT_EQ(first.results[i].values, second.results[i].values);
+    }
+}
+
+TEST(SweepExport, CsvAndJsonCarryEveryPointAndTheCounters) {
+    engine::AnalysisSession session;
+    const std::vector<double> times{0.0, 1.0, 2.0};
+    sweep::ScenarioGrid grid;
+    grid.lines = {2};
+    grid.strategies = {"DED"};
+    grid.measures = {
+        {sweep::MeasureKind::Availability, sweep::DisasterKind::None, 1.0, {}},
+        {sweep::MeasureKind::Survivability, sweep::DisasterKind::Mixed, 1.0 / 3.0, times},
+    };
+    sweep::SweepRunner runner(session);
+    const auto report = runner.run(grid);
+
+    std::ostringstream csv;
+    sweep::write_csv(report, grid, csv);
+    std::istringstream lines(csv.str());
+    std::string line;
+    std::size_t rows = 0;
+    while (std::getline(lines, line)) ++rows;
+    // header + 1 scalar row + 3 series rows + counter comment
+    EXPECT_EQ(rows, 1u + 1u + times.size() + 1u);
+    EXPECT_NE(csv.str().find("2,DED,paper,availability,none"), std::string::npos);
+    EXPECT_NE(csv.str().find("cache_hit_rate="), std::string::npos);
+
+    std::ostringstream json;
+    sweep::write_json(report, grid, json);
+    EXPECT_NE(json.str().find("\"unique_models\": 1"), std::string::npos);
+    EXPECT_NE(json.str().find("\"measure\": \"survivability\""), std::string::npos);
+    EXPECT_NE(json.str().find("\"states_per_second\""), std::string::npos);
+}
+
+TEST(SweepRunner, ParameterPerturbationsAreDistinctCells) {
+    engine::AnalysisSession session;
+    sweep::ScenarioGrid grid;
+    grid.lines = {2};
+    grid.strategies = {"DED"};
+    sweep::ParameterSet slow_repair;
+    slow_repair.name = "pump-mttr-x10";
+    slow_repair.params.pump_mttr = 10.0;
+    grid.parameters = {sweep::ParameterSet{}, slow_repair};
+    grid.measures = {{sweep::MeasureKind::Availability, sweep::DisasterKind::None, 1.0, {}}};
+    sweep::SweepRunner runner(session);
+    const auto report = runner.run(grid);
+    ASSERT_EQ(report.results.size(), 2u);
+    EXPECT_EQ(report.unique_models, 2u);
+    // ten-times-slower pump repair must strictly hurt availability
+    EXPECT_LT(report.results[1].values.front(), report.results[0].values.front());
+}
