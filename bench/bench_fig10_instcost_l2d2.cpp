@@ -2,28 +2,28 @@
 // FFF-1 / FFF-2 / FRF-1 / FRF-2 over [0, 50] h.  Paper shape: all start at
 // 15 (five failed components x 3/h); FFF-1 converges slowest (repeated pump
 // failures during the long sand-filter repair re-inflate the cost).
+//
+// Migrated onto the sweep layer: the figure is the declarative
+// sweep::paper::fig10() grid evaluated by the work-stealing runner — the
+// result rows are identical to the hand-rolled strategy loop this harness
+// used to carry (asserted by test_sweep_golden).
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "sweep/sweep.hpp"
 
-namespace core = arcade::core;
-namespace wt = arcade::watertree;
+namespace sweep = arcade::sweep;
 
 int main() {
-    const auto times = arcade::time_grid(50.0, 101);
-
     bench::Stopwatch watch;
-    arcade::Figure fig("Figure 10: instantaneous cost Line 2, Disaster 2", "t in hours",
-                       "Impuls costs (I)");
-    fig.set_times(times);
-    const auto disaster = wt::disaster2();
-    for (const auto* name : {"FFF-1", "FFF-2", "FRF-1", "FRF-2"}) {
-        const auto model = wt::compile_line(bench::session(), 2, bench::strategy(name),
-                                            core::Encoding::Lumped);
-        fig.add_series(name, core::instantaneous_cost_series(*model, disaster, times, bench::transient()));
-    }
-    fig.print(std::cout);
+    sweep::SweepRunner runner(bench::session());
+    const auto report = runner.run(sweep::paper::fig10());
+
+    sweep::paper::render_fig10(report, std::cout);
     bench::print_session_stats(std::cout);
+    std::cout << "# sweep: " << report.results.size() << " scenarios, cache hit rate "
+              << report.cache_hit_rate() << ", " << report.states_per_second()
+              << " states/sec\n";
     std::cout << "# elapsed: " << watch.seconds() << " s\n";
     return 0;
 }

@@ -1,28 +1,28 @@
 // Reproduces Figure 11: accumulated cost of Line 2 after Disaster 2 for
 // FFF-1 / FFF-2 / FRF-1 / FRF-2 over [0, 50] h.  Paper shape: FFF-1 highest
 // (slowest instantaneous-cost convergence); FRF-2 lowest.
+//
+// Migrated onto the sweep layer: the figure is the declarative
+// sweep::paper::fig11() grid evaluated by the work-stealing runner — the
+// result rows are identical to the hand-rolled strategy loop this harness
+// used to carry (asserted by test_sweep_golden).
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "sweep/sweep.hpp"
 
-namespace core = arcade::core;
-namespace wt = arcade::watertree;
+namespace sweep = arcade::sweep;
 
 int main() {
-    const auto times = arcade::time_grid(50.0, 101);
-
     bench::Stopwatch watch;
-    arcade::Figure fig("Figure 11: accumulated cost Line 2, Disaster 2", "t in hours",
-                       "Cumulative costs (I)");
-    fig.set_times(times);
-    const auto disaster = wt::disaster2();
-    for (const auto* name : {"FFF-1", "FFF-2", "FRF-1", "FRF-2"}) {
-        const auto model = wt::compile_line(bench::session(), 2, bench::strategy(name),
-                                            core::Encoding::Lumped);
-        fig.add_series(name, core::accumulated_cost_series(*model, disaster, times, bench::transient()));
-    }
-    fig.print(std::cout);
+    sweep::SweepRunner runner(bench::session());
+    const auto report = runner.run(sweep::paper::fig11());
+
+    sweep::paper::render_fig11(report, std::cout);
     bench::print_session_stats(std::cout);
+    std::cout << "# sweep: " << report.results.size() << " scenarios, cache hit rate "
+              << report.cache_hit_rate() << ", " << report.states_per_second()
+              << " states/sec\n";
     std::cout << "# elapsed: " << watch.seconds() << " s\n";
     return 0;
 }

@@ -2,29 +2,28 @@
 // pumps fail), recovery to service interval X1 (service >= 1/3), for
 // DED / FRF-1 / FRF-2.  Paper shape: DED fastest, FRF-2 faster than FRF-1,
 // all reach ~1 by 4.5 h.
+//
+// Migrated onto the sweep layer: the figure is the declarative
+// sweep::paper::fig4() grid evaluated by the work-stealing runner — the
+// result rows are identical to the hand-rolled strategy loop this harness
+// used to carry (asserted by test_sweep_golden).
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "sweep/sweep.hpp"
 
-namespace core = arcade::core;
-namespace wt = arcade::watertree;
+namespace sweep = arcade::sweep;
 
 int main() {
-    const auto times = arcade::time_grid(4.5, 91);
-    const double x1 = 1.0 / 3.0;
-
     bench::Stopwatch watch;
-    arcade::Figure fig("Figure 4: survivability Line 1, Disaster 1, X1 (service >= 1/3)",
-                       "t in hours", "Probability (S)");
-    fig.set_times(times);
-    for (const auto* name : {"DED", "FRF-1", "FRF-2"}) {
-        const auto model = wt::compile_line(bench::session(), 1, bench::strategy(name),
-                                            core::Encoding::Lumped);
-        const auto disaster = wt::disaster1(model->model());
-        fig.add_series(name, core::survivability_series(*model, disaster, x1, times, bench::transient()));
-    }
-    fig.print(std::cout);
+    sweep::SweepRunner runner(bench::session());
+    const auto report = runner.run(sweep::paper::fig4());
+
+    sweep::paper::render_fig4(report, std::cout);
     bench::print_session_stats(std::cout);
+    std::cout << "# sweep: " << report.results.size() << " scenarios, cache hit rate "
+              << report.cache_hit_rate() << ", " << report.states_per_second()
+              << " states/sec\n";
     std::cout << "# elapsed: " << watch.seconds() << " s\n";
     return 0;
 }

@@ -1,29 +1,28 @@
 // Reproduces Figure 5: survivability of Line 1 after Disaster 1, recovery
 // to service interval X2 (service >= 2/3).  Paper shape: as Figure 4 but
 // slower (two pump repairs needed instead of one).
+//
+// Migrated onto the sweep layer: the figure is the declarative
+// sweep::paper::fig5() grid evaluated by the work-stealing runner — the
+// result rows are identical to the hand-rolled strategy loop this harness
+// used to carry (asserted by test_sweep_golden).
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "sweep/sweep.hpp"
 
-namespace core = arcade::core;
-namespace wt = arcade::watertree;
+namespace sweep = arcade::sweep;
 
 int main() {
-    const auto times = arcade::time_grid(4.5, 91);
-    const double x2 = 2.0 / 3.0;
-
     bench::Stopwatch watch;
-    arcade::Figure fig("Figure 5: survivability Line 1, Disaster 1, X2 (service >= 2/3)",
-                       "t in hours", "Probability (S)");
-    fig.set_times(times);
-    for (const auto* name : {"DED", "FRF-1", "FRF-2"}) {
-        const auto model = wt::compile_line(bench::session(), 1, bench::strategy(name),
-                                            core::Encoding::Lumped);
-        const auto disaster = wt::disaster1(model->model());
-        fig.add_series(name, core::survivability_series(*model, disaster, x2, times, bench::transient()));
-    }
-    fig.print(std::cout);
+    sweep::SweepRunner runner(bench::session());
+    const auto report = runner.run(sweep::paper::fig5());
+
+    sweep::paper::render_fig5(report, std::cout);
     bench::print_session_stats(std::cout);
+    std::cout << "# sweep: " << report.results.size() << " scenarios, cache hit rate "
+              << report.cache_hit_rate() << ", " << report.states_per_second()
+              << " states/sec\n";
     std::cout << "# elapsed: " << watch.seconds() << " s\n";
     return 0;
 }

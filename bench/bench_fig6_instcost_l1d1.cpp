@@ -2,28 +2,28 @@
 // DED / FRF-1 / FRF-2.  Paper shape: DED starts at ~19 (12 failed-pump cost
 // + 7 idle crews) and converges to 11 (all crews idle); FRF-1 converges to
 // 1 and FRF-2 to 2 (their idle-crew costs); FRF-1 converges slowest.
+//
+// Migrated onto the sweep layer: the figure is the declarative
+// sweep::paper::fig6() grid evaluated by the work-stealing runner — the
+// result rows are identical to the hand-rolled strategy loop this harness
+// used to carry (asserted by test_sweep_golden).
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "sweep/sweep.hpp"
 
-namespace core = arcade::core;
-namespace wt = arcade::watertree;
+namespace sweep = arcade::sweep;
 
 int main() {
-    const auto times = arcade::time_grid(4.5, 91);
-
     bench::Stopwatch watch;
-    arcade::Figure fig("Figure 6: instantaneous cost Line 1, Disaster 1", "t in hours",
-                       "Impuls Costs (I)");
-    fig.set_times(times);
-    for (const auto* name : {"DED", "FRF-1", "FRF-2"}) {
-        const auto model = wt::compile_line(bench::session(), 1, bench::strategy(name),
-                                            core::Encoding::Lumped);
-        const auto disaster = wt::disaster1(model->model());
-        fig.add_series(name, core::instantaneous_cost_series(*model, disaster, times, bench::transient()));
-    }
-    fig.print(std::cout);
+    sweep::SweepRunner runner(bench::session());
+    const auto report = runner.run(sweep::paper::fig6());
+
+    sweep::paper::render_fig6(report, std::cout);
     bench::print_session_stats(std::cout);
+    std::cout << "# sweep: " << report.results.size() << " scenarios, cache hit rate "
+              << report.cache_hit_rate() << ", " << report.states_per_second()
+              << " states/sec\n";
     std::cout << "# elapsed: " << watch.seconds() << " s\n";
     return 0;
 }

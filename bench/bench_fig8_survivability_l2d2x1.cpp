@@ -3,9 +3,10 @@
 // (service >= 1/3), for all five strategies.  Paper shape: FFF-1 clearly
 // slowest (the reservoir is repaired last under FFF); DED fastest.
 //
-// Migrated onto the sweep layer: the figure is one declarative ScenarioGrid
-// evaluated by the work-stealing runner — the result rows are identical to
-// the hand-rolled strategy loop this harness used to carry.
+// Migrated onto the sweep layer: the figure is the declarative
+// sweep::paper::fig8() grid evaluated by the work-stealing runner — the
+// result rows are identical to the hand-rolled strategy loop this harness
+// used to carry (asserted by test_sweep_golden).
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -14,24 +15,11 @@
 namespace sweep = arcade::sweep;
 
 int main() {
-    const auto times = arcade::time_grid(100.0, 101);
-    const double x1 = 1.0 / 3.0;
-
     bench::Stopwatch watch;
-    sweep::ScenarioGrid grid;
-    grid.lines = {2};
-    grid.strategies = {"DED", "FFF-1", "FFF-2", "FRF-1", "FRF-2"};
-    grid.measures = {{sweep::MeasureKind::Survivability, sweep::DisasterKind::Mixed, x1,
-                      times}};
-
     sweep::SweepRunner runner(bench::session());
-    const auto report = runner.run(grid);
+    const auto report = runner.run(sweep::paper::fig8());
 
-    arcade::Figure fig("Figure 8: survivability Line 2, Disaster 2, X1 (service >= 1/3)",
-                       "t in hours", "Probability (S)");
-    fig.set_times(times);
-    for (const auto& r : report.results) fig.add_series(r.item.strategy, r.values);
-    fig.print(std::cout);
+    sweep::paper::render_fig8(report, std::cout);
     std::cout << "# paper check: FFF-1 slowest recovery to X1; DED fastest\n";
     bench::print_session_stats(std::cout);
     std::cout << "# sweep: " << report.results.size() << " scenarios, cache hit rate "

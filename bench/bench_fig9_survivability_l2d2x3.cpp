@@ -4,9 +4,10 @@
 // becomes the bottleneck for X3; curves saturate well below 1 within 100 h
 // (the 100 h sand-filter repair dominates).
 //
-// Migrated onto the sweep layer: the figure is one declarative ScenarioGrid
-// evaluated by the work-stealing runner — the result rows are identical to
-// the hand-rolled strategy loop this harness used to carry.
+// Migrated onto the sweep layer: the figure is the declarative
+// sweep::paper::fig9() grid evaluated by the work-stealing runner — the
+// result rows are identical to the hand-rolled strategy loop this harness
+// used to carry (asserted by test_sweep_golden).
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -15,24 +16,11 @@
 namespace sweep = arcade::sweep;
 
 int main() {
-    const auto times = arcade::time_grid(100.0, 101);
-    const double x3 = 2.0 / 3.0;
-
     bench::Stopwatch watch;
-    sweep::ScenarioGrid grid;
-    grid.lines = {2};
-    grid.strategies = {"DED", "FFF-1", "FFF-2", "FRF-1", "FRF-2"};
-    grid.measures = {{sweep::MeasureKind::Survivability, sweep::DisasterKind::Mixed, x3,
-                      times}};
-
     sweep::SweepRunner runner(bench::session());
-    const auto report = runner.run(grid);
+    const auto report = runner.run(sweep::paper::fig9());
 
-    arcade::Figure fig("Figure 9: survivability Line 2, Disaster 2, X3 (service >= 2/3)",
-                       "t in hours", "Probability (S)");
-    fig.set_times(times);
-    for (const auto& r : report.results) fig.add_series(r.item.strategy, r.values);
-    fig.print(std::cout);
+    sweep::paper::render_fig9(report, std::cout);
     std::cout << "# paper check: FFF-2 above FRF-2 here (sand filter first)\n";
     bench::print_session_stats(std::cout);
     std::cout << "# sweep: " << report.results.size() << " scenarios, cache hit rate "

@@ -1,51 +1,27 @@
 // Reproduces Table 1: state-space sizes per repair strategy, both lines,
 // using the paper's (individual) encoding, with the lumped encoding shown
 // for comparison.
+//
+// Migrated onto the sweep layer: the table is the declarative
+// sweep::paper::table1() grid — a ModelVariant axis sweeps the two
+// encodings — evaluated by the work-stealing runner; the rendered rows are
+// identical to the hand-rolled compile loop this harness used to carry
+// (asserted by test_sweep_golden).
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "sweep/sweep.hpp"
 
-namespace core = arcade::core;
-namespace wt = arcade::watertree;
+namespace sweep = arcade::sweep;
 
 int main() {
-    std::cout << "=== Table 1: state space for repair strategies ===\n";
-    std::cout << "(paper values in parentheses; states must match exactly;\n"
-                 " FRF/FFF transition counts are PRISM-encoding artifacts in the\n"
-                 " paper — our encoding is policy-independent, see DESIGN.md)\n\n";
-
-    struct PaperRow {
-        const char* name;
-        std::size_t s1, t1, s2, t2;
-    };
-    const PaperRow paper[] = {
-        {"DED", 2048, 22528, 512, 4606},
-        {"FRF-1", 111809, 388478, 8129, 25838},
-        {"FRF-2", 111809, 500275, 8129, 33957},
-        {"FFF-1", 111809, 367106, 8129, 23354},
-        {"FFF-2", 111809, 478903, 8129, 31473},
-    };
-
-    arcade::Table table({"Strategy", "L1 states", "L1 trans.", "L2 states", "L2 trans.",
-                         "L1 lumped", "L2 lumped"});
     bench::Stopwatch watch;
-    for (const auto& row : paper) {
-        const auto& strat = bench::strategy(row.name);
-        const auto l1 = bench::compile_individual(wt::line1(strat));
-        const auto l2 = bench::compile_individual(wt::line2(strat));
-        const auto l1_lumped = bench::compile_lumped(wt::line1(strat));
-        const auto l2_lumped = bench::compile_lumped(wt::line2(strat));
-        table.add_row({row.name,
-                       std::to_string(l1->state_count()) + " (" + std::to_string(row.s1) + ")",
-                       std::to_string(l1->transition_count()) + " (" + std::to_string(row.t1) +
-                           ")",
-                       std::to_string(l2->state_count()) + " (" + std::to_string(row.s2) + ")",
-                       std::to_string(l2->transition_count()) + " (" + std::to_string(row.t2) +
-                           ")",
-                       std::to_string(l1_lumped->state_count()),
-                       std::to_string(l2_lumped->state_count())});
-    }
-    table.print(std::cout);
-    std::cout << "\nelapsed: " << watch.seconds() << " s\n";
+    sweep::SweepRunner runner(bench::session());
+    const auto report = runner.run(sweep::paper::table1());
+
+    sweep::paper::render_table1(report, std::cout);
+    std::cout << "\n# sweep: " << report.results.size() << " scenarios over "
+              << report.unique_models << " compiled models\n";
+    std::cout << "elapsed: " << watch.seconds() << " s\n";
     return 0;
 }

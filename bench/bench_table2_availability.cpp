@@ -1,52 +1,27 @@
 // Reproduces Table 2: steady-state availability per repair strategy,
 // per line and combined (A1 + A2 - A1*A2).
-#include <cstdio>
+//
+// Migrated onto the sweep layer: the table is the declarative
+// sweep::paper::table2() grid evaluated by the work-stealing runner — the
+// rendered rows are identical to the hand-rolled strategy loop this harness
+// used to carry (asserted by test_sweep_golden).
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "sweep/sweep.hpp"
 
-namespace core = arcade::core;
-namespace wt = arcade::watertree;
+namespace sweep = arcade::sweep;
 
 int main() {
-    std::cout << "=== Table 2: availability for repair strategies ===\n";
-    std::cout << "(paper values in parentheses; DED matches to 1e-7, two-crew\n"
-                 " rows to ~1e-4; the paper's one-crew digits carry solver noise —\n"
-                 " its own FFF-2 line-2 exceeds DED, which is semantically\n"
-                 " impossible.  See EXPERIMENTS.md.)\n\n";
-
-    struct PaperRow {
-        const char* name;
-        double line1, line2, combined;
-    };
-    const PaperRow paper[] = {
-        {"DED", 0.7442018, 0.8186317, 0.9536063},
-        {"FRF-1", 0.7225597, 0.8101931, 0.9473399},
-        {"FRF-2", 0.7439214, 0.8186312, 0.9535554},
-        {"FFF-1", 0.7273540, 0.8120302, 0.9487508},
-        {"FFF-2", 0.7440022, 0.8186662, 0.9535790},
-    };
-
-    arcade::Table table({"Strategy", "Line 1 (paper)", "Line 2 (paper)", "Combined (paper)"});
     bench::Stopwatch watch;
-    char buf[128];
-    for (const auto& row : paper) {
-        const auto& strat = bench::strategy(row.name);
-        const double a1 = core::availability(bench::session(), bench::compile_lumped(wt::line1(strat)));
-        const double a2 = core::availability(bench::session(), bench::compile_lumped(wt::line2(strat)));
-        const double combined = core::combined_availability(a1, a2);
-        std::vector<std::string> cells;
-        cells.emplace_back(row.name);
-        std::snprintf(buf, sizeof buf, "%.7f (%.7f)", a1, row.line1);
-        cells.emplace_back(buf);
-        std::snprintf(buf, sizeof buf, "%.7f (%.7f)", a2, row.line2);
-        cells.emplace_back(buf);
-        std::snprintf(buf, sizeof buf, "%.7f (%.7f)", combined, row.combined);
-        cells.emplace_back(buf);
-        table.add_row(std::move(cells));
-    }
-    table.print(std::cout);
+    sweep::SweepRunner runner(bench::session());
+    const auto report = runner.run(sweep::paper::table2());
+
+    sweep::paper::render_table2(report, std::cout);
     bench::print_session_stats(std::cout);
+    std::cout << "# sweep: " << report.results.size() << " scenarios, cache hit rate "
+              << report.cache_hit_rate() << ", " << report.states_per_second()
+              << " states/sec\n";
     std::cout << "\nelapsed: " << watch.seconds() << " s\n";
     return 0;
 }

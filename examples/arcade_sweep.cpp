@@ -1,5 +1,5 @@
 // arcade_sweep — the paper's whole evaluation as ONE declarative scenario
-// grid.
+// grid (sweep::paper::everything()).
 //
 // A single ScenarioGrid spans (both lines) × (all five repair strategies) ×
 // (availability + the six figure measures with their time grids).  The
@@ -10,8 +10,17 @@
 // counters, and optional CSV/JSON export:
 //
 //   arcade_sweep [--threads N] [--csv out.csv] [--json out.json]
+//                [--shard i/n] [--csv-footer]
+//
+// --shard i/n runs only the i-th of n contiguous slices of the expanded
+// work list (1-based).  Slices are deterministic, disjoint and exhaustive;
+// only shard 1 writes the CSV header, so concatenating the n per-shard CSV
+// files in shard order reproduces the unsharded CSV byte-for-byte (sharded
+// runs therefore ignore --csv-footer: per-shard footers would interleave
+// comment lines mid-file).  Sharded runs skip the human-readable
+// table/figure rendering (their cells may live in other shards) and are
+// meant to be driven for their CSV/JSON output.
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -23,27 +32,12 @@
 namespace core = arcade::core;
 namespace sweep = arcade::sweep;
 
-namespace {
-
-const sweep::ScenarioResult* find(const sweep::SweepReport& report, int line,
-                                  const std::string& strategy, sweep::MeasureKind kind,
-                                  sweep::DisasterKind disaster, double service_level) {
-    for (const auto& r : report.results) {
-        const auto& m = r.item.measure;
-        if (r.item.line == line && r.item.strategy == strategy && m.kind == kind &&
-            m.disaster == disaster && m.service_level == service_level) {
-            return &r;
-        }
-    }
-    return nullptr;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
     unsigned threads = 0;
     std::string csv_path;
     std::string json_path;
+    sweep::ShardSpec shard;
+    bool csv_footer = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         const bool has_value = i + 1 < argc;
@@ -59,80 +53,87 @@ int main(int argc, char** argv) {
             csv_path = argv[++i];
         } else if (arg == "--json" && has_value) {
             json_path = argv[++i];
+        } else if (arg == "--shard" && has_value) {
+            try {
+                shard = sweep::ShardSpec::parse(argv[++i]);
+            } catch (const std::exception& e) {
+                std::cerr << "arcade_sweep: " << e.what() << "\n";
+                return 2;
+            }
+        } else if (arg == "--csv-footer") {
+            csv_footer = true;
         } else {
-            std::cerr << "usage: arcade_sweep [--threads N] [--csv PATH] [--json PATH]\n";
+            std::cerr << "usage: arcade_sweep [--threads N] [--csv PATH] [--json PATH] "
+                         "[--shard i/n] [--csv-footer]\n";
             return 2;
         }
     }
 
     using sweep::DisasterKind;
     using sweep::MeasureKind;
-    const auto short_grid = arcade::time_grid(4.5, 91);    // Figs 4–6
-    const auto cost_grid = arcade::time_grid(10.0, 101);   // Fig 7
-    const auto long_grid = arcade::time_grid(100.0, 101);  // Figs 8–9
-    const double x1 = 1.0 / 3.0;
-    const double x2 = 2.0 / 3.0;
+    const auto grid = sweep::paper::everything();
 
-    // The whole paper evaluation, declared once.  Disaster-2 measures prune
-    // themselves off Line 1 (the paper defines that disaster on Line 2).
-    sweep::ScenarioGrid grid;
-    grid.lines = {1, 2};
-    grid.strategies = {"DED", "FRF-1", "FRF-2", "FFF-1", "FFF-2"};
-    grid.measures = {
-        {MeasureKind::Availability, DisasterKind::None, 1.0, {}},            // Table 2
-        {MeasureKind::Survivability, DisasterKind::AllPumps, x1, short_grid},  // Fig 4
-        {MeasureKind::Survivability, DisasterKind::AllPumps, x2, short_grid},  // Fig 5
-        {MeasureKind::InstantaneousCost, DisasterKind::AllPumps, 1.0, short_grid},  // Fig 6
-        {MeasureKind::AccumulatedCost, DisasterKind::AllPumps, 1.0, cost_grid},     // Fig 7
-        {MeasureKind::Survivability, DisasterKind::Mixed, x1, long_grid},    // Fig 8
-        {MeasureKind::Survivability, DisasterKind::Mixed, x2, long_grid},    // Fig 9
-    };
-
-    sweep::SweepRunner runner(arcade::engine::AnalysisSession::global(), {threads});
+    sweep::SweepRunner runner(arcade::engine::AnalysisSession::global(),
+                              {threads, shard});
     const auto report = runner.run(grid);
 
-    // --- Table 2, availability column -------------------------------------
-    std::cout << "=== Sweep: Table 2 availability (from the declarative grid) ===\n";
-    arcade::Table table({"Strategy", "Line 1", "Line 2", "Combined"});
-    char buf[64];
-    for (const auto& name : grid.strategies) {
-        const auto* a1 =
-            find(report, 1, name, MeasureKind::Availability, DisasterKind::None, 1.0);
-        const auto* a2 =
-            find(report, 2, name, MeasureKind::Availability, DisasterKind::None, 1.0);
-        if (a1 == nullptr || a2 == nullptr) {
-            std::cerr << "missing availability cell for " << name << "\n";
-            return 1;
+    if (shard.is_sharded()) {
+        // A shard holds an arbitrary slice of the grid: the table/figure
+        // renderings below need cells that may live in other shards.
+        std::cout << "# shard " << shard.index << "/" << shard.count << ": "
+                  << report.results.size() << " of " << sweep::expand(grid).size()
+                  << " work items\n";
+    } else {
+        // --- Table 2, availability column ---------------------------------
+        std::cout << "=== Sweep: Table 2 availability (from the declarative grid) ===\n";
+        arcade::Table table({"Strategy", "Line 1", "Line 2", "Combined"});
+        char buf[64];
+        for (const auto& name : grid.strategies) {
+            const auto* a1 =
+                sweep::paper::find(report, 1, name, MeasureKind::Availability, DisasterKind::None, 1.0);
+            const auto* a2 =
+                sweep::paper::find(report, 2, name, MeasureKind::Availability, DisasterKind::None, 1.0);
+            if (a1 == nullptr || a2 == nullptr) {
+                std::cerr << "missing availability cell for " << name << "\n";
+                return 1;
+            }
+            std::vector<std::string> cells{name};
+            std::snprintf(buf, sizeof buf, "%.7f", a1->values.front());
+            cells.emplace_back(buf);
+            std::snprintf(buf, sizeof buf, "%.7f", a2->values.front());
+            cells.emplace_back(buf);
+            std::snprintf(buf, sizeof buf, "%.7f",
+                          core::combined_availability(a1->values.front(),
+                                                      a2->values.front()));
+            cells.emplace_back(buf);
+            table.add_row(std::move(cells));
         }
-        std::vector<std::string> cells{name};
-        std::snprintf(buf, sizeof buf, "%.7f", a1->values.front());
-        cells.emplace_back(buf);
-        std::snprintf(buf, sizeof buf, "%.7f", a2->values.front());
-        cells.emplace_back(buf);
-        std::snprintf(buf, sizeof buf, "%.7f",
-                      core::combined_availability(a1->values.front(), a2->values.front()));
-        cells.emplace_back(buf);
-        table.add_row(std::move(cells));
-    }
-    table.print(std::cout);
+        table.print(std::cout);
 
-    // --- Figure 8 grid (survivability, Line 2, Disaster 2, X1) ------------
-    std::cout << "\n";
-    arcade::Figure fig("Figure 8 (via sweep): survivability Line 2, Disaster 2, X1",
-                       "t in hours", "Probability (S)");
-    fig.set_times(long_grid);
-    for (const auto& name : grid.strategies) {
-        const auto* r =
-            find(report, 2, name, MeasureKind::Survivability, DisasterKind::Mixed, x1);
-        if (r == nullptr) {
-            std::cerr << "missing survivability cell for " << name << "\n";
-            return 1;
+        // --- Figure 8 grid (survivability, Line 2, Disaster 2, X1) --------
+        std::cout << "\n";
+        arcade::Figure fig("Figure 8 (via sweep): survivability Line 2, Disaster 2, X1",
+                           "t in hours", "Probability (S)");
+        const double x1 = 1.0 / 3.0;
+        bool have_times = false;
+        for (const auto& name : grid.strategies) {
+            const auto* r =
+                sweep::paper::find(report, 2, name, MeasureKind::Survivability, DisasterKind::Mixed, x1);
+            if (r == nullptr) {
+                std::cerr << "missing survivability cell for " << name << "\n";
+                return 1;
+            }
+            if (!have_times) {
+                fig.set_times(r->item.measure.times);
+                have_times = true;
+            }
+            fig.add_series(name, r->values);
         }
-        fig.add_series(name, r->values);
+        fig.print(std::cout);
     }
-    fig.print(std::cout);
 
     // --- Counters ---------------------------------------------------------
+    char buf[64];
     std::cout << "\n# sweep: " << report.results.size() << " scenarios over "
               << report.unique_models << " compiled models\n"
               << "# cache: " << report.stats.compile_hits << " compile hits / "
@@ -149,7 +150,12 @@ int main(int argc, char** argv) {
 
     if (!csv_path.empty()) {
         std::ofstream out(csv_path);
-        sweep::write_csv(report, grid, out);
+        sweep::CsvOptions options;
+        options.header = shard.index == 1;  // later shards concatenate after shard 1
+        // A per-shard footer would interleave comment lines mid-file and
+        // break the byte-identical concatenation guarantee.
+        options.footer = csv_footer && !shard.is_sharded();
+        sweep::write_csv(report, grid, out, options);
         std::cout << "# wrote " << csv_path << "\n";
     }
     if (!json_path.empty()) {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "ctmc/steady_state.hpp"
+#include "ctmc/transient.hpp"
 #include "linalg/vector_ops.hpp"
 #include "numeric/fox_glynn.hpp"
 #include "support/errors.hpp"
@@ -134,11 +135,21 @@ std::vector<double> accumulated_reward_series(const ctmc::Ctmc& chain,
     double acc = 0.0;
     double prev = 0.0;
     for (double t : times) {
-        ARCADE_ASSERT(t >= prev - 1e-12, "time grid must be ascending");
-        acc += accumulate_interval(chain, lambda, dist, reward.state_rates(), t - prev,
+        // Mirror TransientEvolver::advance_to: a grid point within tolerance
+        // below the previous one is a duplicate (zero-length interval), an
+        // earlier one is a caller error.  The raw `t - prev` of a duplicate
+        // can be negative and must never reach accumulate_interval.
+        if (t < prev - ctmc::TransientEvolver::kTimeTolerance) {
+            throw InvalidArgument("accumulated_reward_series: t=" + std::to_string(t) +
+                                  " is before the previous grid point " +
+                                  std::to_string(prev) +
+                                  "; grid times must be non-decreasing");
+        }
+        const double dt = std::max(0.0, t - prev);
+        acc += accumulate_interval(chain, lambda, dist, reward.state_rates(), dt,
                                    options.epsilon);
         out.push_back(acc);
-        prev = t;
+        prev = std::max(prev, t);
     }
     return out;
 }

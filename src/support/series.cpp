@@ -17,6 +17,10 @@ void Figure::add_series(std::string name, std::vector<double> values) {
 }
 
 void Figure::print(std::ostream& os) const {
+    // The precision applies to this figure's rows only, not to whatever the
+    // caller prints next (elapsed seconds, session stats).
+    const std::ios::fmtflags flags = os.flags();
+    const std::streamsize precision = os.precision();
     os << "# " << title_ << "\n";
     os << "# x: " << x_label_ << "   y: " << y_label_ << "\n";
     os << "# t";
@@ -28,6 +32,8 @@ void Figure::print(std::ostream& os) const {
         for (const auto& s : series_) os << "\t" << s.values[i];
         os << "\n";
     }
+    os.flags(flags);
+    os.precision(precision);
 }
 
 Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
@@ -38,6 +44,8 @@ void Table::add_row(std::vector<std::string> cells) {
 }
 
 void Table::print(std::ostream& os) const {
+    const std::ios::fmtflags flags = os.flags();
+    const std::streamsize precision = os.precision();
     std::vector<std::size_t> width(header_.size());
     for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
     for (const auto& row : rows_) {
@@ -57,6 +65,8 @@ void Table::print(std::ostream& os) const {
     for (std::size_t c = 0; c < header_.size(); ++c) rule.emplace_back(std::string(width[c], '-'));
     emit(rule);
     for (const auto& row : rows_) emit(row);
+    os.flags(flags);
+    os.precision(precision);
 }
 
 std::vector<double> time_grid(double max, std::size_t points) {

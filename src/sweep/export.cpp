@@ -15,8 +15,8 @@ std::string fmt(double v) {
     return buf;
 }
 
-/// JSON string escaping: quotes, backslashes and control characters (a
-/// caller-supplied ParameterSet name must never corrupt the document).
+}  // namespace
+
 std::string json_escape(const std::string& s) {
     std::string out;
     out.reserve(s.size());
@@ -35,8 +35,6 @@ std::string json_escape(const std::string& s) {
     return out;
 }
 
-/// RFC-4180 CSV field: quoted (with doubled quotes) when the value holds a
-/// separator, quote or newline.
 std::string csv_field(const std::string& s) {
     if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
     std::string out = "\"";
@@ -48,15 +46,17 @@ std::string csv_field(const std::string& s) {
     return out;
 }
 
-}  // namespace
-
-void write_csv(const SweepReport& report, const ScenarioGrid& grid, std::ostream& os) {
-    os << "line,strategy,parameters,measure,disaster,service_level,t,value\n";
+void write_csv(const SweepReport& report, const ScenarioGrid& grid, std::ostream& os,
+               const CsvOptions& options) {
+    if (options.header) {
+        os << "line,strategy,parameters,variant,measure,disaster,service_level,t,value\n";
+    }
     for (const auto& r : report.results) {
         const auto& m = r.item.measure;
         const std::string prefix =
             std::to_string(r.item.line) + "," + csv_field(r.item.strategy) + "," +
             csv_field(grid.parameters[r.item.parameter_index].name) + "," +
+            csv_field(r.item.variant.name) + "," +
             to_string(m.kind) + "," +
             to_string(m.disaster) + "," +
             (m.kind == MeasureKind::Survivability ? fmt(m.service_level) : "") + ",";
@@ -68,15 +68,17 @@ void write_csv(const SweepReport& report, const ScenarioGrid& grid, std::ostream
             os << prefix << "," << fmt(r.values.front()) << "\n";
         }
     }
-    os << "# scenarios=" << report.results.size() << " unique_models="
-       << report.unique_models << " compile_hits=" << report.stats.compile_hits
-       << " compile_misses=" << report.stats.compile_misses
-       << " steady_hits=" << report.stats.steady_state_hits
-       << " steady_misses=" << report.stats.steady_state_misses
-       << " cache_hit_rate=" << fmt(report.cache_hit_rate())
-       << " state_points=" << report.state_points
-       << " states_per_sec=" << fmt(report.states_per_second())
-       << " wall_seconds=" << fmt(report.wall_seconds) << "\n";
+    if (options.footer) {
+        os << "# scenarios=" << report.results.size() << " unique_models="
+           << report.unique_models << " compile_hits=" << report.stats.compile_hits
+           << " compile_misses=" << report.stats.compile_misses
+           << " steady_hits=" << report.stats.steady_state_hits
+           << " steady_misses=" << report.stats.steady_state_misses
+           << " cache_hit_rate=" << fmt(report.cache_hit_rate())
+           << " state_points=" << report.state_points
+           << " states_per_sec=" << fmt(report.states_per_second())
+           << " wall_seconds=" << fmt(report.wall_seconds) << "\n";
+    }
 }
 
 void write_json(const SweepReport& report, const ScenarioGrid& grid, std::ostream& os) {
@@ -95,12 +97,15 @@ void write_json(const SweepReport& report, const ScenarioGrid& grid, std::ostrea
     for (std::size_t i = 0; i < report.results.size(); ++i) {
         const auto& r = report.results[i];
         const auto& m = r.item.measure;
-        os << "    {\"line\": " << r.item.line << ", \"strategy\": \""
-           << json_escape(r.item.strategy) << "\", \"parameters\": \""
+        os << "    {\"index\": " << r.item.index << ", \"line\": " << r.item.line
+           << ", \"strategy\": \"" << json_escape(r.item.strategy)
+           << "\", \"parameters\": \""
            << json_escape(grid.parameters[r.item.parameter_index].name)
+           << "\", \"variant\": \"" << json_escape(r.item.variant.name)
            << "\", \"measure\": \"" << to_string(m.kind) << "\", \"disaster\": \""
            << to_string(m.disaster) << "\", \"service_level\": " << fmt(m.service_level)
            << ", \"model_states\": " << r.model_states
+           << ", \"model_transitions\": " << r.model_transitions
            << ", \"seconds\": " << fmt(r.seconds) << ",\n     \"times\": [";
         for (std::size_t k = 0; k < m.times.size(); ++k) {
             os << (k > 0 ? ", " : "") << fmt(m.times[k]);

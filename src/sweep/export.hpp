@@ -1,22 +1,49 @@
 // Result export for scenario sweeps: a flat CSV (one row per solved point,
-// gnuplot/pandas-friendly) and a structured JSON document, both carrying
-// the run's cache-effectiveness and throughput counters so downstream
-// tooling can track engine regressions alongside the numbers.
+// gnuplot/pandas-friendly) and a structured JSON document.  The JSON always
+// carries the run's cache-effectiveness and throughput counters so
+// downstream tooling can track engine regressions alongside the numbers;
+// the CSV stays strict RFC-4180 by default (counters are an opt-in footer
+// comment).
 #ifndef ARCADE_SWEEP_EXPORT_HPP
 #define ARCADE_SWEEP_EXPORT_HPP
 
 #include <iosfwd>
+#include <string>
 
 #include "sweep/runner.hpp"
 
 namespace arcade::sweep {
 
-/// Header `line,strategy,parameters,measure,disaster,service_level,t,value`;
-/// scalar measures emit one row with an empty `t` column.  Doubles are
-/// round-trip exact (%.17g).
-void write_csv(const SweepReport& report, const ScenarioGrid& grid, std::ostream& os);
+/// RFC-4180 CSV field: quoted (with doubled quotes) when the value holds a
+/// separator, quote or newline; the raw string otherwise.
+[[nodiscard]] std::string csv_field(const std::string& s);
+
+/// JSON string escaping: quotes, backslashes and control characters (a
+/// caller-supplied ParameterSet or ModelVariant name must never corrupt the
+/// document).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+struct CsvOptions {
+    /// Emit the column-name header line.  Shard 1 of a partitioned sweep
+    /// writes it; later shards suppress it so the per-shard files
+    /// concatenate into exactly the unsharded document.
+    bool header = true;
+    /// Emit the trailing `# scenarios=... cache_hit_rate=...` counter
+    /// comment.  Off by default: comment lines break strict RFC-4180
+    /// parsers (the counters are always present in the JSON export).
+    bool footer = false;
+};
+
+/// Header `line,strategy,parameters,variant,measure,disaster,service_level,
+/// t,value`; scalar measures emit one row with an empty `t` column.  Doubles
+/// are round-trip exact (%.17g).  Rows appear in result order, which for
+/// runner output is ascending work-item index — so shard CSVs concatenate
+/// (shard 1 with header, the rest without) into the unsharded document.
+void write_csv(const SweepReport& report, const ScenarioGrid& grid, std::ostream& os,
+               const CsvOptions& options = {});
 
 /// One JSON object: {"counters": {...}, "results": [{..., "values": [...]}]}.
+/// The counters block is always present.
 void write_json(const SweepReport& report, const ScenarioGrid& grid, std::ostream& os);
 
 }  // namespace arcade::sweep

@@ -1,0 +1,70 @@
+// The DSN 2010 paper's figures and tables as named ScenarioGrids.
+//
+// Every artefact of the paper's evaluation is one declarative spec here —
+// the figure/table harnesses under bench/ are thin mains that run the spec
+// through a SweepRunner and call the matching render function.  The golden
+// tests assert that each rendered artefact is byte-identical to the
+// hand-rolled measure loops the harnesses carried before the migration, so
+// the sweep layer provably subsumes them.
+//
+//   fig3     reliability over time, both lines (repairs stripped)
+//   fig4/5   survivability, Line 1, Disaster 1, recovery to X1 / X2
+//   fig6/7   instantaneous / accumulated cost, Line 1, Disaster 1
+//   fig8/9   survivability, Line 2, Disaster 2, recovery to X1 / X3
+//   fig10/11 instantaneous / accumulated cost, Line 2, Disaster 2
+//   table1   state-space sizes (individual + lumped encodings)
+//   table2   steady-state availability per strategy
+//   everything  the whole evaluation in a single grid (examples/arcade_sweep)
+#ifndef ARCADE_SWEEP_PAPER_HPP
+#define ARCADE_SWEEP_PAPER_HPP
+
+#include <iosfwd>
+
+#include "sweep/runner.hpp"
+
+namespace arcade::sweep::paper {
+
+[[nodiscard]] ScenarioGrid fig3();
+[[nodiscard]] ScenarioGrid fig4();
+[[nodiscard]] ScenarioGrid fig5();
+[[nodiscard]] ScenarioGrid fig6();
+[[nodiscard]] ScenarioGrid fig7();
+[[nodiscard]] ScenarioGrid fig8();
+[[nodiscard]] ScenarioGrid fig9();
+[[nodiscard]] ScenarioGrid fig10();
+[[nodiscard]] ScenarioGrid fig11();
+[[nodiscard]] ScenarioGrid table1();
+[[nodiscard]] ScenarioGrid table2();
+
+/// The whole paper evaluation in one grid: both lines × all five strategies
+/// × (availability + the six figure measures with their time grids).
+/// Disaster-2 measures prune themselves off Line 1.
+[[nodiscard]] ScenarioGrid everything();
+
+/// First result of `report` matching the given cell coordinates, or nullptr.
+/// An empty `variant` matches any variant name.
+[[nodiscard]] const ScenarioResult* find(const SweepReport& report, int line,
+                                         const std::string& strategy, MeasureKind kind,
+                                         DisasterKind disaster = DisasterKind::None,
+                                         double service_level = 1.0,
+                                         const std::string& variant = {});
+
+// Renderers: turn the report of the matching grid into the exact artefact
+// (figure block or table, including its preamble) the pre-migration harness
+// printed.  They expect an unsharded report of the same-named grid and
+// throw InvalidArgument when a cell is missing.
+void render_fig3(const SweepReport& report, std::ostream& os);
+void render_fig4(const SweepReport& report, std::ostream& os);
+void render_fig5(const SweepReport& report, std::ostream& os);
+void render_fig6(const SweepReport& report, std::ostream& os);
+void render_fig7(const SweepReport& report, std::ostream& os);
+void render_fig8(const SweepReport& report, std::ostream& os);
+void render_fig9(const SweepReport& report, std::ostream& os);
+void render_fig10(const SweepReport& report, std::ostream& os);
+void render_fig11(const SweepReport& report, std::ostream& os);
+void render_table1(const SweepReport& report, std::ostream& os);
+void render_table2(const SweepReport& report, std::ostream& os);
+
+}  // namespace arcade::sweep::paper
+
+#endif  // ARCADE_SWEEP_PAPER_HPP

@@ -124,13 +124,11 @@ engine::AnalysisSession::CompiledPtr compile_item(engine::AnalysisSession& sessi
                                                   const WorkItem& item) {
     const auto& strat = watertree::strategy(item.strategy);
     const auto& params = grid.parameters[item.parameter_index].params;
-    if (item.measure.kind == MeasureKind::Reliability) {
-        core::CompileOptions options;
-        options.encoding = grid.encoding;
-        return session.compile(
-            core::without_repair(watertree::line(item.line, strat, params)), options);
-    }
-    return watertree::compile_line(session, item.line, strat, grid.encoding, params);
+    // Reliability is defined on the repair-free model regardless of variant.
+    const bool with_repair =
+        item.variant.repair && item.measure.kind != MeasureKind::Reliability;
+    return watertree::compile_line(session, item.line, strat, item.variant.encoding,
+                                   params, with_repair);
 }
 
 ScenarioResult evaluate(engine::AnalysisSession& session, const ScenarioGrid& grid,
@@ -142,12 +140,16 @@ ScenarioResult evaluate(engine::AnalysisSession& session, const ScenarioGrid& gr
     ScenarioResult result;
     result.item = item;
     result.model_states = model->state_count();
+    result.model_transitions = model->transition_count();
     switch (item.measure.kind) {
         case MeasureKind::Availability:
             result.values = {core::availability(session, model)};
             break;
         case MeasureKind::SteadyStateCost:
             result.values = {core::steady_state_cost(session, model)};
+            break;
+        case MeasureKind::StateSpace:
+            result.values = {static_cast<double>(model->state_count())};
             break;
         case MeasureKind::Reliability:
             result.values = core::reliability_series(*model, item.measure.times, transient);
@@ -175,7 +177,7 @@ ScenarioResult evaluate(engine::AnalysisSession& session, const ScenarioGrid& gr
 }  // namespace
 
 SweepReport SweepRunner::run(const ScenarioGrid& grid) {
-    return run(grid, expand(grid));
+    return run(grid, shard_slice(expand(grid), options_.shard));
 }
 
 SweepReport SweepRunner::run(const ScenarioGrid& grid, const std::vector<WorkItem>& items) {

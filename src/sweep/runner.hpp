@@ -24,12 +24,14 @@
 namespace arcade::sweep {
 
 /// One evaluated grid cell.  `values` has one entry per time-grid point for
-/// series measures and exactly one entry for scalar measures.
+/// series measures and exactly one entry for scalar measures (for
+/// MeasureKind::StateSpace, the state count).
 struct ScenarioResult {
     WorkItem item;
     std::vector<double> values;
-    std::size_t model_states = 0;  ///< state count of the compiled model
-    double seconds = 0.0;          ///< wall time of this cell's evaluation
+    std::size_t model_states = 0;       ///< state count of the compiled model
+    std::size_t model_transitions = 0;  ///< transition count of the compiled model
+    double seconds = 0.0;               ///< wall time of this cell's evaluation
 };
 
 struct SweepReport {
@@ -53,6 +55,9 @@ struct SweepReport {
 
 struct RunnerOptions {
     unsigned threads = 0;  ///< worker threads; 0 = hardware concurrency
+    /// Which slice of the expanded work list this process runs (1/1 = all).
+    /// Applies to run(grid) only; pre-expanded item lists are the caller's.
+    ShardSpec shard;
 };
 
 class SweepRunner {
@@ -60,9 +65,9 @@ public:
     explicit SweepRunner(engine::AnalysisSession& session, RunnerOptions options = {})
         : session_(session), options_(options) {}
 
-    /// expand()s the grid and evaluates every work item.  The first worker
-    /// exception (e.g. an inconsistent disaster) is rethrown after the pool
-    /// drains.
+    /// expand()s the grid, keeps this runner's shard of the work list, and
+    /// evaluates every item.  The first worker exception (e.g. an
+    /// inconsistent disaster) is rethrown after the pool drains.
     [[nodiscard]] SweepReport run(const ScenarioGrid& grid);
 
     /// Evaluates pre-expanded items (callers that filter or re-order cells).

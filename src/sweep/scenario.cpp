@@ -35,6 +35,7 @@ std::string to_string(MeasureKind kind) {
     switch (kind) {
         case MeasureKind::Availability: return "availability";
         case MeasureKind::SteadyStateCost: return "steady-state-cost";
+        case MeasureKind::StateSpace: return "state-space";
         case MeasureKind::Reliability: return "reliability";
         case MeasureKind::Survivability: return "survivability";
         case MeasureKind::InstantaneousCost: return "instantaneous-cost";
@@ -52,18 +53,26 @@ std::string to_string(DisasterKind kind) {
     throw InvalidArgument("unknown DisasterKind");
 }
 
+ModelVariant lumped_variant() { return {"lumped", core::Encoding::Lumped, true}; }
+
+ModelVariant individual_variant() {
+    return {"individual", core::Encoding::Individual, true};
+}
+
 std::string WorkItem::model_key() const {
     std::string key = "line" + std::to_string(line) + "/" + strategy + "/p" +
-                      std::to_string(parameter_index);
+                      std::to_string(parameter_index) + "/" +
+                      (variant.encoding == core::Encoding::Lumped ? "lumped" : "individual");
     // Reliability strips the repair units, so it compiles its own model even
-    // when another measure shares the (line, strategy, parameters) cell.
-    if (measure.kind == MeasureKind::Reliability) key += "/norepair";
+    // when another measure shares the (line, strategy, variant, parameters)
+    // cell; a repair-free variant describes the same model.
+    if (!variant.repair || measure.kind == MeasureKind::Reliability) key += "/norepair";
     return key;
 }
 
 std::string WorkItem::key() const {
-    std::string key = model_key() + "/" + to_string(measure.kind) + "/" +
-                      to_string(measure.disaster);
+    std::string key = model_key() + "/v=" + variant.name + "/" +
+                      to_string(measure.kind) + "/" + to_string(measure.disaster);
     if (measure.kind == MeasureKind::Survivability) {
         key += "/x=" + bits_string(measure.service_level);
     }
@@ -85,6 +94,11 @@ bool validate(int line, const MeasureSpec& measure) {
         throw InvalidArgument(
             "ScenarioGrid: reliability starts from the all-up state; it cannot take a "
             "disaster");
+    }
+    if (measure.kind == MeasureKind::StateSpace &&
+        measure.disaster != DisasterKind::None) {
+        throw InvalidArgument(
+            "ScenarioGrid: state-space is a property of the model, not of a disaster");
     }
     if (measure.is_series()) {
         if (measure.times.empty()) {
@@ -115,22 +129,69 @@ std::vector<WorkItem> expand(const ScenarioGrid& grid) {
     if (grid.parameters.empty()) {
         throw InvalidArgument("ScenarioGrid: at least one parameter set is required");
     }
+    if (grid.variants.empty()) {
+        throw InvalidArgument("ScenarioGrid: at least one model variant is required");
+    }
     std::vector<WorkItem> items;
     std::unordered_set<std::string> seen;
     for (const int line : grid.lines) {
         for (const auto& name : grid.strategies) {
             (void)watertree::strategy(name);  // throws on unknown names, eagerly
-            for (std::size_t p = 0; p < grid.parameters.size(); ++p) {
-                for (const auto& measure : grid.measures) {
-                    if (!validate(line, measure)) continue;
-                    WorkItem item{line, name, p, measure};
-                    if (!item.measure.is_series()) item.measure.times.clear();
-                    if (seen.insert(item.key()).second) items.push_back(std::move(item));
+            for (const auto& variant : grid.variants) {
+                for (std::size_t p = 0; p < grid.parameters.size(); ++p) {
+                    for (const auto& measure : grid.measures) {
+                        if (!validate(line, measure)) continue;
+                        WorkItem item{line, name, variant, p, measure, items.size()};
+                        if (!item.measure.is_series()) item.measure.times.clear();
+                        if (seen.insert(item.key()).second) {
+                            items.push_back(std::move(item));
+                        }
+                    }
                 }
             }
         }
     }
     return items;
+}
+
+ShardSpec ShardSpec::parse(const std::string& text) {
+    // Strict digits/digits only: stoul's prefix parsing would turn a typo
+    // like "1/3o" into shard 1/3 and silently duplicate work across a
+    // mis-specified fleet.
+    const auto parse_number = [&](const std::string& part) {
+        if (part.empty() || part.size() > 9 ||
+            part.find_first_not_of("0123456789") != std::string::npos) {
+            throw InvalidArgument("ShardSpec: expected 'i/n' (e.g. '2/3'), got '" + text +
+                                  "'");
+        }
+        return static_cast<std::size_t>(std::stoul(part));
+    };
+    const std::size_t slash = text.find('/');
+    if (slash == std::string::npos) {
+        throw InvalidArgument("ShardSpec: expected 'i/n' (e.g. '2/3'), got '" + text +
+                              "'");
+    }
+    const std::size_t index = parse_number(text.substr(0, slash));
+    const std::size_t count = parse_number(text.substr(slash + 1));
+    if (count == 0 || index == 0 || index > count) {
+        throw InvalidArgument("ShardSpec: shard index must satisfy 1 <= i <= n, got '" +
+                              text + "'");
+    }
+    return ShardSpec{index, count};
+}
+
+std::vector<WorkItem> shard_slice(const std::vector<WorkItem>& items,
+                                  const ShardSpec& shard) {
+    if (shard.count == 0 || shard.index == 0 || shard.index > shard.count) {
+        throw InvalidArgument("shard_slice: shard index must satisfy 1 <= i <= n, got " +
+                              std::to_string(shard.index) + "/" +
+                              std::to_string(shard.count));
+    }
+    const std::size_t n = items.size();
+    const std::size_t lo = (shard.index - 1) * n / shard.count;
+    const std::size_t hi = shard.index * n / shard.count;
+    return std::vector<WorkItem>(items.begin() + static_cast<std::ptrdiff_t>(lo),
+                                 items.begin() + static_cast<std::ptrdiff_t>(hi));
 }
 
 }  // namespace arcade::sweep

@@ -24,6 +24,7 @@ namespace arcade::sweep {
 enum class MeasureKind {
     Availability,       ///< scalar: S=?["operational"]
     SteadyStateCost,    ///< scalar: long-run expected cost rate
+    StateSpace,         ///< scalar: state count of the compiled model (Table 1)
     Reliability,        ///< series: repairs stripped, P[never left full service]
     Survivability,      ///< series: P[service >= level within t | disaster]
     InstantaneousCost,  ///< series: E[cost rate at t | disaster]
@@ -51,9 +52,24 @@ struct MeasureSpec {
     std::vector<double> times;   ///< ascending; empty for scalar measures
 
     [[nodiscard]] bool is_series() const noexcept {
-        return kind != MeasureKind::Availability && kind != MeasureKind::SteadyStateCost;
+        return kind != MeasureKind::Availability &&
+               kind != MeasureKind::SteadyStateCost && kind != MeasureKind::StateSpace;
     }
 };
+
+/// One way of building the model of a cell: the state-space encoding plus
+/// whether the repair units are kept.  Table 1 sweeps the encodings; the
+/// ablation studies sweep repair on/off.  Named so result rows stay
+/// self-describing (like ParameterSet).
+struct ModelVariant {
+    std::string name = "lumped";
+    core::Encoding encoding = core::Encoding::Lumped;
+    bool repair = true;  ///< false strips the repair units (without_repair)
+};
+
+/// The paper's two encodings as ready-made variants.
+[[nodiscard]] ModelVariant lumped_variant();
+[[nodiscard]] ModelVariant individual_variant();
 
 /// A named parameter perturbation (the identity perturbation is the paper's
 /// baseline).  Named so result rows stay self-describing.
@@ -62,13 +78,14 @@ struct ParameterSet {
     watertree::Parameters params;
 };
 
-/// The declarative cross-product.  Lines, strategies and parameter sets
-/// multiply; each resulting model cell evaluates every measure.
+/// The declarative cross-product.  Lines, strategies, model variants and
+/// parameter sets multiply; each resulting model cell evaluates every
+/// measure.
 struct ScenarioGrid {
     std::vector<int> lines;                  ///< {1}, {2} or {1, 2}
     std::vector<std::string> strategies;     ///< paper names ("DED", "FRF-1", ...)
+    std::vector<ModelVariant> variants = {ModelVariant{}};
     std::vector<ParameterSet> parameters = {ParameterSet{}};
-    core::Encoding encoding = core::Encoding::Lumped;
     std::vector<MeasureSpec> measures;
 };
 
@@ -76,23 +93,51 @@ struct ScenarioGrid {
 struct WorkItem {
     int line = 0;
     std::string strategy;
+    ModelVariant variant;
     std::size_t parameter_index = 0;  ///< into ScenarioGrid::parameters
     MeasureSpec measure;
+    /// Position in the deterministic expand() order.  Shard slices keep the
+    /// original indices, so results from disjoint shards stable-sort by
+    /// `index` back into exactly the unsharded order.
+    std::size_t index = 0;
 
     /// Stable identity used for deduplication and result labelling.
     [[nodiscard]] std::string key() const;
-    /// Identity of the compiled-model prefix shared with other items.
+    /// Identity of the compiled-model prefix shared with other items
+    /// (encoding and effective repair included; the variant *name* is not —
+    /// two variants describing the same model share one compile).
     [[nodiscard]] std::string model_key() const;
 };
 
 /// Flattens `grid` into work items in deterministic grid order
-/// (line-major, then strategy, parameter set, measure), dropping exact
-/// duplicates (same line, strategy, parameters and measure).  Cells whose
-/// disaster is undefined for the line (Mixed on Line 1) are pruned, so one
-/// spec can span both lines.  Malformed specs — unknown strategy names,
-/// unsorted time grids, a reliability measure with a disaster — throw
-/// InvalidArgument here, not mid-run.
+/// (line-major, then strategy, variant, parameter set, measure), dropping
+/// exact duplicates (same line, strategy, variant, parameters and measure).
+/// Cells whose disaster is undefined for the line (Mixed on Line 1) are
+/// pruned, so one spec can span both lines.  Malformed specs — unknown
+/// strategy names, unsorted time grids, a reliability measure with a
+/// disaster — throw InvalidArgument here, not mid-run.
 [[nodiscard]] std::vector<WorkItem> expand(const ScenarioGrid& grid);
+
+/// One slice of a sweep partitioned across processes: shard `index` of
+/// `count`, 1-based (the CLI spelling is `--shard i/n`).
+struct ShardSpec {
+    std::size_t index = 1;
+    std::size_t count = 1;
+
+    [[nodiscard]] bool is_sharded() const noexcept { return count > 1; }
+
+    /// Parses "i/n" (e.g. "2/3").  Throws InvalidArgument unless
+    /// 1 <= i <= n.
+    [[nodiscard]] static ShardSpec parse(const std::string& text);
+};
+
+/// The contiguous slice of `items` belonging to `shard`: slice sizes differ
+/// by at most one, every item lands in exactly one shard, and concatenating
+/// the slices for shards 1..n in order reproduces `items` exactly.  Work-item
+/// indices are preserved, so per-shard results (and their CSV rows) remain
+/// sorted by the unsharded work-item index.
+[[nodiscard]] std::vector<WorkItem> shard_slice(const std::vector<WorkItem>& items,
+                                                const ShardSpec& shard);
 
 }  // namespace arcade::sweep
 

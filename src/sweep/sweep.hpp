@@ -1,9 +1,11 @@
 // Umbrella header for the scenario-sweep subsystem: declare a grid
-// (scenario.hpp), run it (runner.hpp), export the results (export.hpp).
+// (scenario.hpp), run it (runner.hpp), export the results (export.hpp),
+// or start from the paper's ready-made figure/table specs (paper.hpp).
 #ifndef ARCADE_SWEEP_SWEEP_HPP
 #define ARCADE_SWEEP_SWEEP_HPP
 
 #include "sweep/export.hpp"
+#include "sweep/paper.hpp"
 #include "sweep/runner.hpp"
 #include "sweep/scenario.hpp"
 

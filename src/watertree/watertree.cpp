@@ -69,10 +69,13 @@ core::ArcadeModel line(int number, const Strategy& strategy, const Parameters& p
 engine::AnalysisSession::CompiledPtr compile_line(engine::AnalysisSession& session,
                                                   int number, const Strategy& strategy,
                                                   core::Encoding encoding,
-                                                  const Parameters& params) {
+                                                  const Parameters& params,
+                                                  bool with_repair) {
     core::CompileOptions options;
     options.encoding = encoding;
-    return session.compile(line(number, strategy, params), options);
+    core::ArcadeModel model = line(number, strategy, params);
+    if (!with_repair) model = core::without_repair(model);
+    return session.compile(model, options);
 }
 
 core::Disaster disaster1(const core::ArcadeModel& line) {

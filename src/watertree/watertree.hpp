@@ -52,12 +52,15 @@ struct Strategy {
 [[nodiscard]] core::ArcadeModel line(int number, const Strategy& strategy,
                                      const Parameters& params = {});
 
-/// Session-cached compilation of one line (the figure harnesses' entry
-/// point): callers asking for the same (line, strategy, encoding) share
-/// one CompiledModel.
+/// Session-cached compilation of one line (the figure harnesses' and the
+/// sweep runner's entry point): callers asking for the same (line, strategy,
+/// encoding, parameters, repair) variant share one CompiledModel.
+/// `with_repair = false` strips the repair units before compiling (the
+/// reliability measure and the no-repair model variants).
 [[nodiscard]] engine::AnalysisSession::CompiledPtr compile_line(
     engine::AnalysisSession& session, int number, const Strategy& strategy,
-    core::Encoding encoding = core::Encoding::Individual, const Parameters& params = {});
+    core::Encoding encoding = core::Encoding::Individual, const Parameters& params = {},
+    bool with_repair = true);
 
 /// Line 1: 3 softeners, 3 sand filters, 1 reservoir, 4 pumps (3+1 spare).
 [[nodiscard]] core::ArcadeModel line1(const Strategy& strategy,

@@ -5,6 +5,7 @@
 
 #include "ctmc/ctmc.hpp"
 #include "rewards/rewards.hpp"
+#include "support/errors.hpp"
 
 namespace ctmc = arcade::ctmc;
 namespace rw = arcade::rewards;
@@ -85,6 +86,32 @@ TEST(Rewards, SeriesAgreesWithPointSolvesAndIsMonotone) {
         if (i > 0) EXPECT_GT(acc[i], acc[i - 1]);  // positive rewards accumulate
     }
     EXPECT_NEAR(acc[0], 0.0, 1e-12);
+}
+
+TEST(Rewards, SeriesClampsDuplicateGridPoints) {
+    // An exactly-duplicated grid point is a zero-length interval: the series
+    // value must repeat and equal the scalar solve at that time bit-for-bit
+    // (the raw t - prev of a duplicate can be -0.0-ish and must be clamped,
+    // never fed into the interval accumulator).
+    const auto chain = two_state(0.7, 1.3);
+    const rw::RewardStructure reward("r", {1.0, 4.0});
+    const std::vector<double> times{0.0, 1.0, 1.0, 2.5};
+    const auto acc = rw::accumulated_reward_series(chain, chain.initial_distribution(),
+                                                   reward, times);
+    ASSERT_EQ(acc.size(), times.size());
+    EXPECT_EQ(acc[1], acc[2]);
+    EXPECT_EQ(acc[1],
+              rw::accumulated_reward(chain, chain.initial_distribution(), reward, 1.0));
+    // A point within the duplicate tolerance clamps too...
+    const std::vector<double> nudged{1.0, 1.0 - 1e-13};
+    const auto clamped = rw::accumulated_reward_series(chain, chain.initial_distribution(),
+                                                       reward, nudged);
+    EXPECT_EQ(clamped[0], clamped[1]);
+    // ...but a genuinely decreasing grid is a caller error.
+    const std::vector<double> decreasing{1.0, 0.5};
+    EXPECT_THROW((void)rw::accumulated_reward_series(chain, chain.initial_distribution(),
+                                                     reward, decreasing),
+                 arcade::InvalidArgument);
 }
 
 TEST(Rewards, SteadyStateReward) {

@@ -1,6 +1,7 @@
 // Unit tests: string utilities and table/series output.
 #include <gtest/gtest.h>
 
+#include <iomanip>
 #include <sstream>
 
 #include "support/series.hpp"
@@ -56,6 +57,29 @@ TEST(Series, FigurePrintsHeaderAndRows) {
     EXPECT_NE(out.find("# test"), std::string::npos);
     EXPECT_NE(out.find("0.5"), std::string::npos);
     EXPECT_NE(out.find("\ta"), std::string::npos);
+}
+
+TEST(Series, PrintRestoresTheCallersStreamState) {
+    // Figure::print uses setprecision(7) and Table::print std::left/setw for
+    // their own rows; neither may leak onto the caller's stream — a harness
+    // printing elapsed seconds afterwards must keep its own formatting.
+    arc::Figure fig("test", "t", "y");
+    fig.set_times({0.0, 1.0});
+    fig.add_series("a", {0.123456789012, 0.6});
+    std::ostringstream os;
+    os << std::setprecision(12);
+    const std::ios::fmtflags before = os.flags();
+    fig.print(os);
+    EXPECT_EQ(os.precision(), 12);
+    EXPECT_EQ(os.flags(), before);
+
+    arc::Table table({"name", "value"});
+    table.add_row({"x", "1"});
+    table.print(os);
+    EXPECT_EQ(os.precision(), 12);
+    EXPECT_EQ(os.flags(), before);
+    os << 0.123456789012;
+    EXPECT_NE(os.str().find("0.123456789012"), std::string::npos);
 }
 
 TEST(Series, TablePrintsAlignedColumns) {

@@ -144,9 +144,9 @@ TEST(SweepRunner, ResultsAreDeterministicAcrossThreadCounts) {
          times},
     };
     engine::AnalysisSession serial_session;
-    sweep::SweepRunner serial(serial_session, {1u});
+    sweep::SweepRunner serial(serial_session, {1u, {}});
     engine::AnalysisSession parallel_session;
-    sweep::SweepRunner parallel(parallel_session, {4u});
+    sweep::SweepRunner parallel(parallel_session, {4u, {}});
     const auto a = serial.run(grid);
     const auto b = parallel.run(grid);
     ASSERT_EQ(a.results.size(), b.results.size());
@@ -200,16 +200,246 @@ TEST(SweepExport, CsvAndJsonCarryEveryPointAndTheCounters) {
     std::string line;
     std::size_t rows = 0;
     while (std::getline(lines, line)) ++rows;
-    // header + 1 scalar row + 3 series rows + counter comment
-    EXPECT_EQ(rows, 1u + 1u + times.size() + 1u);
-    EXPECT_NE(csv.str().find("2,DED,paper,availability,none"), std::string::npos);
-    EXPECT_NE(csv.str().find("cache_hit_rate="), std::string::npos);
+    // header + 1 scalar row + 3 series rows; the counter footer is opt-in
+    // (comment lines break strict RFC-4180 parsers)
+    EXPECT_EQ(rows, 1u + 1u + times.size());
+    EXPECT_NE(csv.str().find("2,DED,paper,lumped,availability,none"), std::string::npos);
+    EXPECT_EQ(csv.str().find("cache_hit_rate="), std::string::npos);
 
+    sweep::CsvOptions with_footer;
+    with_footer.footer = true;
+    std::ostringstream footered;
+    sweep::write_csv(report, grid, footered, with_footer);
+    EXPECT_NE(footered.str().find("# scenarios=2"), std::string::npos);
+    EXPECT_NE(footered.str().find("cache_hit_rate="), std::string::npos);
+
+    sweep::CsvOptions headerless;
+    headerless.header = false;
+    std::ostringstream body;
+    sweep::write_csv(report, grid, body, headerless);
+    EXPECT_EQ(body.str().find("line,strategy"), std::string::npos);
+    EXPECT_EQ(csv.str(), "line,strategy,parameters,variant,measure,disaster,"
+                         "service_level,t,value\n" + body.str());
+
+    // The JSON export carries the counters unconditionally.
     std::ostringstream json;
     sweep::write_json(report, grid, json);
     EXPECT_NE(json.str().find("\"unique_models\": 1"), std::string::npos);
     EXPECT_NE(json.str().find("\"measure\": \"survivability\""), std::string::npos);
     EXPECT_NE(json.str().find("\"states_per_second\""), std::string::npos);
+    EXPECT_NE(json.str().find("\"cache_hit_rate\""), std::string::npos);
+    EXPECT_NE(json.str().find("\"variant\": \"lumped\""), std::string::npos);
+}
+
+TEST(ScenarioGrid, VariantAxisSweepsEncodingsAsDistinctCells) {
+    sweep::ScenarioGrid grid;
+    grid.lines = {2};
+    grid.strategies = {"DED"};
+    grid.variants = {sweep::individual_variant(), sweep::lumped_variant()};
+    grid.measures = {{sweep::MeasureKind::StateSpace, sweep::DisasterKind::None, 1.0, {}}};
+    const auto items = sweep::expand(grid);
+    ASSERT_EQ(items.size(), 2u);
+    EXPECT_EQ(items[0].variant.name, "individual");
+    EXPECT_EQ(items[1].variant.name, "lumped");
+    EXPECT_NE(items[0].model_key(), items[1].model_key());
+    EXPECT_EQ(items[0].index, 0u);
+    EXPECT_EQ(items[1].index, 1u);
+
+    // An empty variant axis would silently expand to nothing.
+    grid.variants.clear();
+    EXPECT_THROW((void)sweep::expand(grid), arcade::InvalidArgument);
+
+    // A state-space cell with a disaster is meaningless, not prunable.
+    grid.variants = {sweep::lumped_variant()};
+    grid.measures = {{sweep::MeasureKind::StateSpace, sweep::DisasterKind::Mixed, 1.0, {}}};
+    EXPECT_THROW((void)sweep::expand(grid), arcade::InvalidArgument);
+}
+
+TEST(SweepRunner, StateSpaceMeasureReportsTheCompiledModelSizes) {
+    engine::AnalysisSession session;
+    sweep::ScenarioGrid grid;
+    grid.lines = {2};
+    grid.strategies = {"DED"};
+    grid.variants = {sweep::individual_variant(), sweep::lumped_variant()};
+    grid.measures = {{sweep::MeasureKind::StateSpace, sweep::DisasterKind::None, 1.0, {}}};
+    sweep::SweepRunner runner(session);
+    const auto report = runner.run(grid);
+    ASSERT_EQ(report.results.size(), 2u);
+
+    const auto individual = session.compile(wt::line2(wt::strategy("DED")));
+    core::CompileOptions lumped_options;
+    lumped_options.encoding = core::Encoding::Lumped;
+    const auto lumped = session.compile(wt::line2(wt::strategy("DED")), lumped_options);
+
+    EXPECT_EQ(report.results[0].model_states, individual->state_count());
+    EXPECT_EQ(report.results[0].model_transitions, individual->transition_count());
+    EXPECT_EQ(report.results[0].values.front(),
+              static_cast<double>(individual->state_count()));
+    EXPECT_EQ(report.results[1].model_states, lumped->state_count());
+    EXPECT_EQ(report.results[1].model_transitions, lumped->transition_count());
+    // paper Table 1: line 2 has 512 individual states; far fewer lumped
+    EXPECT_EQ(report.results[0].model_states, 512u);
+    EXPECT_LT(report.results[1].model_states, report.results[0].model_states);
+}
+
+TEST(SweepRunner, NoRepairVariantCompilesTheStrippedModel) {
+    engine::AnalysisSession session;
+    sweep::ScenarioGrid grid;
+    grid.lines = {2};
+    grid.strategies = {"DED"};
+    grid.variants = {{"norepair", core::Encoding::Lumped, false}};
+    grid.measures = {{sweep::MeasureKind::StateSpace, sweep::DisasterKind::None, 1.0, {}}};
+    sweep::SweepRunner runner(session);
+    const auto report = runner.run(grid);
+    ASSERT_EQ(report.results.size(), 1u);
+
+    core::CompileOptions lumped_options;
+    lumped_options.encoding = core::Encoding::Lumped;
+    const auto direct = session.compile(
+        core::without_repair(wt::line2(wt::strategy("DED"))), lumped_options);
+    EXPECT_EQ(report.results.front().model_states, direct->state_count());
+    // The sweep compiled the same artefact the direct call now hits.
+    EXPECT_GT(session.stats().compile_hits, 0u);
+}
+
+TEST(ShardSpec, ParsesTheCliSpelling) {
+    const auto spec = sweep::ShardSpec::parse("2/3");
+    EXPECT_EQ(spec.index, 2u);
+    EXPECT_EQ(spec.count, 3u);
+    EXPECT_TRUE(spec.is_sharded());
+    EXPECT_FALSE(sweep::ShardSpec{}.is_sharded());
+    for (const char* bad : {"", "2", "0/2", "3/2", "2/0", "x/2", "2/y", "/", "1/3o",
+                            "+1/3", " 1/3", "1/3 ", "-1/3"}) {
+        EXPECT_THROW((void)sweep::ShardSpec::parse(bad), arcade::InvalidArgument) << bad;
+    }
+}
+
+TEST(ShardSlice, PartitionsTheWorkListContiguouslyAndExhaustively) {
+    const auto grid = sweep::paper::everything();
+    const auto items = sweep::expand(grid);
+    ASSERT_GT(items.size(), 10u);
+    for (std::size_t n = 1; n <= 4; ++n) {
+        std::vector<std::string> concatenated;
+        std::size_t min_size = items.size();
+        std::size_t max_size = 0;
+        for (std::size_t i = 1; i <= n; ++i) {
+            const auto slice = sweep::shard_slice(items, {i, n});
+            min_size = std::min(min_size, slice.size());
+            max_size = std::max(max_size, slice.size());
+            for (const auto& item : slice) concatenated.push_back(item.key());
+        }
+        // balanced to within one item, and concatenation == original order
+        EXPECT_LE(max_size - min_size, 1u) << n;
+        ASSERT_EQ(concatenated.size(), items.size()) << n;
+        for (std::size_t k = 0; k < items.size(); ++k) {
+            EXPECT_EQ(concatenated[k], items[k].key());
+            EXPECT_EQ(items[k].index, k);
+        }
+    }
+    EXPECT_THROW((void)sweep::shard_slice(items, {5, 4}), arcade::InvalidArgument);
+}
+
+TEST(ShardSlice, ShardCsvsConcatenateByteIdenticallyForOneTwoThreeShards) {
+    // Separate sessions per shard model separate processes: the concatenated
+    // per-shard CSVs (header on shard 1 only) must reproduce the unsharded
+    // document byte-for-byte, for every shard count in {1, 2, 3}.
+    sweep::ScenarioGrid grid;
+    grid.lines = {1, 2};
+    grid.strategies = {"DED", "FRF-1"};
+    grid.variants = {sweep::lumped_variant(), sweep::individual_variant()};
+    grid.measures = {
+        {sweep::MeasureKind::Availability, sweep::DisasterKind::None, 1.0, {}},
+        {sweep::MeasureKind::StateSpace, sweep::DisasterKind::None, 1.0, {}},
+        {sweep::MeasureKind::Survivability, sweep::DisasterKind::AllPumps, 1.0 / 3.0,
+         arcade::time_grid(5.0, 6)},
+    };
+
+    engine::AnalysisSession unsharded_session;
+    sweep::SweepRunner unsharded(unsharded_session);
+    std::ostringstream whole;
+    sweep::write_csv(unsharded.run(grid), grid, whole);
+
+    for (std::size_t n = 1; n <= 3; ++n) {
+        std::string concatenated;
+        for (std::size_t i = 1; i <= n; ++i) {
+            engine::AnalysisSession shard_session;
+            sweep::SweepRunner runner(shard_session, {0u, {i, n}});
+            std::ostringstream os;
+            sweep::CsvOptions options;
+            options.header = i == 1;
+            sweep::write_csv(runner.run(grid), grid, os, options);
+            concatenated += os.str();
+        }
+        EXPECT_EQ(concatenated, whole.str()) << n << " shards";
+    }
+}
+
+TEST(SweepExport, CsvAndJsonEscapingRoundTripsHostileNames) {
+    // Names with separators, quotes and newlines must round-trip through the
+    // quoted/escaped forms unchanged.
+    const std::vector<std::string> hostile = {
+        "plain", "comma,name", "quote\"name", "line\nbreak", "cr\rname",
+        "back\\slash", "all,of\"it\\\nat once",
+    };
+    for (const auto& s : hostile) {
+        // CSV: strip the surrounding quotes, fold doubled quotes.
+        const std::string field = sweep::csv_field(s);
+        std::string parsed;
+        if (!field.empty() && field.front() == '"') {
+            for (std::size_t i = 1; i + 1 < field.size(); ++i) {
+                if (field[i] == '"') {
+                    ASSERT_LT(i + 1, field.size()) << s;
+                    ASSERT_EQ(field[i + 1], '"') << s;
+                    ++i;
+                }
+                parsed.push_back(field[i]);
+            }
+        } else {
+            parsed = field;
+        }
+        EXPECT_EQ(parsed, s);
+
+        // JSON: undo \\, \" and \u00xx control escapes.
+        const std::string escaped = sweep::json_escape(s);
+        std::string unescaped;
+        for (std::size_t i = 0; i < escaped.size(); ++i) {
+            if (escaped[i] != '\\') {
+                unescaped.push_back(escaped[i]);
+                continue;
+            }
+            ASSERT_LT(i + 1, escaped.size()) << s;
+            if (escaped[i + 1] == 'u') {
+                ASSERT_LE(i + 6, escaped.size()) << s;
+                unescaped.push_back(static_cast<char>(
+                    std::stoi(escaped.substr(i + 2, 4), nullptr, 16)));
+                i += 5;
+            } else {
+                unescaped.push_back(escaped[i + 1]);
+                ++i;
+            }
+        }
+        EXPECT_EQ(unescaped, s);
+    }
+
+    // And end to end: a hostile parameter-set name lands quoted in the CSV
+    // and escaped in the JSON without corrupting either document.
+    engine::AnalysisSession session;
+    sweep::ScenarioGrid grid;
+    grid.lines = {2};
+    grid.strategies = {"DED"};
+    sweep::ParameterSet nasty;
+    nasty.name = "mttr,\"x10\"\nfast";
+    grid.parameters = {nasty};
+    grid.measures = {{sweep::MeasureKind::Availability, sweep::DisasterKind::None, 1.0, {}}};
+    sweep::SweepRunner runner(session);
+    const auto report = runner.run(grid);
+
+    std::ostringstream csv;
+    sweep::write_csv(report, grid, csv);
+    EXPECT_NE(csv.str().find("\"mttr,\"\"x10\"\"\nfast\""), std::string::npos);
+    std::ostringstream json;
+    sweep::write_json(report, grid, json);
+    EXPECT_NE(json.str().find("mttr,\\\"x10\\\"\\u000afast"), std::string::npos);
 }
 
 TEST(SweepRunner, ParameterPerturbationsAreDistinctCells) {
