@@ -1,48 +1,18 @@
 // Ablation A1: individual (paper) encoding vs lumped (symmetry-reduced)
-// encoding — state-space sizes, build times, and measure agreement.
-// Motivates the minimisation the paper's conclusion calls for.
-#include <cmath>
-#include <cstdio>
+// encoding — state-space sizes and measure agreement, expressed as one
+// declarative sweep over the ModelVariant axis (sweep::studies).  The
+// rendered rows are byte-identical to the pre-migration hand-rolled loop
+// (asserted by test_sweep_golden).
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "sweep/sweep.hpp"
 
-namespace core = arcade::core;
-namespace wt = arcade::watertree;
+namespace sweep = arcade::sweep;
 
 int main() {
-    std::cout << "=== Ablation: individual vs lumped encoding ===\n\n";
-    arcade::Table table({"Model", "Indiv. states", "Lumped states", "Reduction",
-                         "Indiv. avail", "Lumped avail", "|diff|"});
-    char buf[64];
-    for (const auto* line : {"line1", "line2"}) {
-        for (const auto* name : {"DED", "FRF-1", "FRF-2", "FFF-1", "FFF-2"}) {
-            const auto model = std::string(line) == "line1"
-                                   ? wt::line1(bench::strategy(name))
-                                   : wt::line2(bench::strategy(name));
-            const auto individual = bench::compile_individual(model);
-            const auto lumped = bench::compile_lumped(model);
-            const double ai = core::availability(bench::session(), individual);
-            const double al = core::availability(bench::session(), lumped);
-            std::vector<std::string> cells;
-            cells.emplace_back(std::string(line) + " " + name);
-            cells.emplace_back(std::to_string(individual->state_count()));
-            cells.emplace_back(std::to_string(lumped->state_count()));
-            std::snprintf(buf, sizeof buf, "%.1fx",
-                          static_cast<double>(individual->state_count()) /
-                              static_cast<double>(lumped->state_count()));
-            cells.emplace_back(buf);
-            std::snprintf(buf, sizeof buf, "%.7f", ai);
-            cells.emplace_back(buf);
-            std::snprintf(buf, sizeof buf, "%.7f", al);
-            cells.emplace_back(buf);
-            std::snprintf(buf, sizeof buf, "%.1e", std::abs(ai - al));
-            cells.emplace_back(buf);
-            table.add_row(std::move(cells));
-        }
-    }
-    table.print(std::cout);
-    std::cout << "\n(measures agree to solver precision; the lumped encoding is the\n"
-                 " 'drastic reduction' the paper's conclusion anticipates)\n";
+    sweep::SweepRunner runner(bench::session());
+    const auto report = runner.run(sweep::studies::ablation_encodings());
+    sweep::studies::render_ablation_encodings(report, std::cout);
     return 0;
 }

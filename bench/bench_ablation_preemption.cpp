@@ -1,57 +1,23 @@
-// Ablation A2: non-preemptive (paper) vs preemptive repair scheduling.
-// The paper's conclusion singles out NON-preemptive priority scheduling;
-// this ablation quantifies what preemption would change: availability is
-// nearly unaffected (work conservation), but recovery trajectories differ —
-// under preemptive FRF the long sand-filter repair is interrupted by every
-// pump failure, delaying full recovery.
-#include <cstdio>
+// Ablation A2: non-preemptive (paper) vs preemptive repair scheduling,
+// expressed as a declarative sweep over the "-pre" strategy variants
+// (sweep::studies).  The paper's conclusion singles out NON-preemptive
+// priority scheduling; this ablation quantifies what preemption would
+// change: availability is nearly unaffected (work conservation), but
+// recovery trajectories differ — under preemptive FRF the long sand-filter
+// repair is interrupted by every pump failure, delaying full recovery.
+// Rendered rows are byte-identical to the pre-migration hand-rolled loop
+// (asserted by test_sweep_golden).
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "sweep/sweep.hpp"
 
-namespace core = arcade::core;
-namespace wt = arcade::watertree;
-
-namespace {
-
-bench::ModelPtr compile_variant(const char* policy_name, bool preemptive) {
-    auto strat = bench::strategy(policy_name);
-    strat.preemptive = preemptive;
-    strat.name += preemptive ? "-pre" : "";
-    return bench::compile_lumped(wt::line2(strat));
-}
-
-}  // namespace
+namespace sweep = arcade::sweep;
 
 int main() {
-    std::cout << "=== Ablation: non-preemptive (paper) vs preemptive scheduling ===\n\n";
-    arcade::Table table({"Strategy", "Avail (non-pre)", "Avail (preempt)",
-                         "Surv@10h X4 (non-pre)", "Surv@10h X4 (preempt)"});
-    const auto disaster = wt::disaster2();
-    char buf[64];
-    for (const auto* name : {"FRF-1", "FRF-2", "FFF-1", "FFF-2"}) {
-        const auto np = compile_variant(name, false);
-        const auto pre = compile_variant(name, true);
-        std::vector<std::string> cells;
-        cells.emplace_back(name);
-        std::snprintf(buf, sizeof buf, "%.7f", core::availability(bench::session(), np));
-        cells.emplace_back(buf);
-        std::snprintf(buf, sizeof buf, "%.7f", core::availability(bench::session(), pre));
-        cells.emplace_back(buf);
-        std::snprintf(buf, sizeof buf, "%.5f", core::survivability(*np, disaster, 1.0, 10.0));
-        cells.emplace_back(buf);
-        std::snprintf(buf, sizeof buf, "%.5f", core::survivability(*pre, disaster, 1.0, 10.0));
-        cells.emplace_back(buf);
-        table.add_row(std::move(cells));
-    }
-    table.print(std::cout);
-    std::cout << "\n(state spaces also differ: preemption needs no tracked in-repair\n"
-                 " slot, so the individual encoding shrinks from 8129 states to "
-              << [] {
-                     auto strat = bench::strategy("FRF-1");
-                     strat.preemptive = true;
-                     return bench::compile_individual(wt::line2(strat))->state_count();
-                 }()
-              << ")\n";
+    sweep::SweepRunner runner(bench::session());
+    const auto report = runner.run(sweep::studies::ablation_preemption());
+    const auto sizes = runner.run(sweep::studies::ablation_preemption_sizes());
+    sweep::studies::render_ablation_preemption(report, sizes, std::cout);
     return 0;
 }

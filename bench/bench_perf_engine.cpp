@@ -17,6 +17,7 @@
 #include "arcade/compiler.hpp"
 #include "arcade/measures.hpp"
 #include "ctmc/bounded_until.hpp"
+#include "ctmc/quotient.hpp"
 #include "ctmc/steady_state.hpp"
 #include "ctmc/transient.hpp"
 #include "engine/explore.hpp"
@@ -123,6 +124,44 @@ void BM_SessionCompileCached(benchmark::State& state) {
         static_cast<double>(stats.compile_hits), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SessionCompileCached);
+
+/// Partition refinement itself: the cost of auto-lumping the paper's
+/// individual encoding, with the achieved reduction as counters.
+void BM_StateSpaceQuotientLine2Individual(benchmark::State& state) {
+    const auto& model = line2_frf1();
+    const auto signature = model.lump_signature();
+    std::size_t blocks = 0;
+    for (auto _ : state) {
+        const arcade::ctmc::QuotientCtmc quotient(model.chain(), signature);
+        blocks = quotient.block_count();
+        benchmark::DoNotOptimize(blocks);
+    }
+    state.counters["states"] = static_cast<double>(model.state_count());
+    state.counters["blocks"] = static_cast<double>(blocks);
+    state.counters["reduction_ratio"] =
+        static_cast<double>(model.state_count()) / static_cast<double>(blocks);
+}
+BENCHMARK(BM_StateSpaceQuotientLine2Individual)->Unit(benchmark::kMillisecond);
+
+/// Session-cached quotient: the repeated-scenario path under
+/// ReductionPolicy::Auto — every request after the first is a lump hit.
+void BM_SessionQuotientCached(benchmark::State& state) {
+    engine::AnalysisSession session;
+    core::CompileOptions options;
+    options.reduction = core::ReductionPolicy::Auto;
+    const auto model = session.compile(wt::line2(wt::strategy("FRF-1")), options);
+    benchmark::DoNotOptimize(session.quotient(model)->block_count());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(session.quotient(model)->block_count());
+    }
+    const auto stats = session.stats();
+    state.counters["lump_hits"] = static_cast<double>(stats.lump_hits);
+    state.counters["lump_misses"] = static_cast<double>(stats.lump_misses);
+    state.counters["lump_states_in"] = static_cast<double>(stats.lump_states_in);
+    state.counters["lump_states_out"] = static_cast<double>(stats.lump_states_out);
+    state.counters["reduction_ratio"] = stats.reduction_ratio();
+}
+BENCHMARK(BM_SessionQuotientCached);
 
 /// Cached steady-state: availability + long-run cost off one solve.
 void BM_SessionSteadyStateCached(benchmark::State& state) {

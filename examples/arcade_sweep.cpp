@@ -10,7 +10,14 @@
 // counters, and optional CSV/JSON export:
 //
 //   arcade_sweep [--threads N] [--csv out.csv] [--json out.json]
-//                [--shard i/n] [--csv-footer]
+//                [--shard i/n] [--csv-footer] [--reduction off|auto]
+//                [--mttr-sweep]
+//
+// --reduction auto analyses every scenario on the automatic
+// strong-bisimulation quotient of its model (see README, "The reduction
+// layer"); --mttr-sweep swaps the paper grid for the MTTR-sensitivity study
+// (repair rates scaled ±50% around the paper's values via
+// ScenarioGrid::parameters) and renders its tables instead.
 //
 // --shard i/n runs only the i-th of n contiguous slices of the expanded
 // work list (1-based).  Slices are deterministic, disjoint and exhaustive;
@@ -38,6 +45,8 @@ int main(int argc, char** argv) {
     std::string json_path;
     sweep::ShardSpec shard;
     bool csv_footer = false;
+    bool mttr_sweep = false;
+    core::ReductionPolicy reduction = core::default_reduction_policy();
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         const bool has_value = i + 1 < argc;
@@ -62,19 +71,34 @@ int main(int argc, char** argv) {
             }
         } else if (arg == "--csv-footer") {
             csv_footer = true;
+        } else if (arg == "--mttr-sweep") {
+            mttr_sweep = true;
+        } else if (arg == "--reduction" && has_value) {
+            const std::string value = argv[++i];
+            if (value == "off") {
+                reduction = core::ReductionPolicy::Off;
+            } else if (value == "auto") {
+                reduction = core::ReductionPolicy::Auto;
+            } else {
+                std::cerr << "arcade_sweep: --reduction takes 'off' or 'auto', got '"
+                          << value << "'\n";
+                return 2;
+            }
         } else {
             std::cerr << "usage: arcade_sweep [--threads N] [--csv PATH] [--json PATH] "
-                         "[--shard i/n] [--csv-footer]\n";
+                         "[--shard i/n] [--csv-footer] [--reduction off|auto] "
+                         "[--mttr-sweep]\n";
             return 2;
         }
     }
 
     using sweep::DisasterKind;
     using sweep::MeasureKind;
-    const auto grid = sweep::paper::everything();
+    const auto grid = mttr_sweep ? sweep::studies::mttr_sensitivity()
+                                 : sweep::paper::everything();
 
     sweep::SweepRunner runner(arcade::engine::AnalysisSession::global(),
-                              {threads, shard});
+                              {threads, shard, reduction});
     const auto report = runner.run(grid);
 
     if (shard.is_sharded()) {
@@ -83,6 +107,8 @@ int main(int argc, char** argv) {
         std::cout << "# shard " << shard.index << "/" << shard.count << ": "
                   << report.results.size() << " of " << sweep::expand(grid).size()
                   << " work items\n";
+    } else if (mttr_sweep) {
+        sweep::studies::render_mttr_sensitivity(report, grid, std::cout);
     } else {
         // --- Table 2, availability column ---------------------------------
         std::cout << "=== Sweep: Table 2 availability (from the declarative grid) ===\n";
@@ -141,7 +167,16 @@ int main(int argc, char** argv) {
               << report.stats.steady_state_hits << " steady-state hits / "
               << report.stats.steady_state_misses << " misses  (hit rate ";
     std::snprintf(buf, sizeof buf, "%.3f", report.cache_hit_rate());
-    std::cout << buf << ")\n# throughput: " << report.state_points
+    std::cout << buf << ")\n";
+    if (reduction == core::ReductionPolicy::Auto) {
+        std::cout << "# reduction: " << report.stats.lump_misses << " quotients built / "
+                  << report.stats.lump_hits << " reused, "
+                  << report.stats.lump_states_in << " states -> "
+                  << report.stats.lump_states_out << " blocks (";
+        std::snprintf(buf, sizeof buf, "%.1fx", report.stats.reduction_ratio());
+        std::cout << buf << ")\n";
+    }
+    std::cout << "# throughput: " << report.state_points
               << " state-points in ";
     std::snprintf(buf, sizeof buf, "%.3f", report.wall_seconds);
     std::cout << buf << " s (";

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <string>
 
 #include "arcade/fault_tree.hpp"
 #include "engine/explore.hpp"
@@ -693,20 +695,50 @@ CompiledModel run_compile(const ArcadeModel& model, const Plan& plan, Encoder en
 
     return CompiledModel(std::move(chain), std::move(service),
                          rewards::RewardStructure("cost", std::move(cost)), model,
-                         std::move(store), encoding);
+                         std::move(store), encoding, options.reduction);
 }
 
 }  // namespace
 
 CompiledModel::CompiledModel(ctmc::Ctmc chain, std::vector<double> service,
                              rewards::RewardStructure cost, ArcadeModel model,
-                             engine::StateStore store, Encoding encoding)
+                             engine::StateStore store, Encoding encoding,
+                             ReductionPolicy reduction)
     : chain_(std::move(chain)),
       service_(std::move(service)),
       cost_(std::move(cost)),
       model_(std::move(model)),
       store_(std::move(store)),
-      encoding_(encoding) {}
+      encoding_(encoding),
+      reduction_(reduction) {}
+
+ReductionPolicy default_reduction_policy() {
+    static const ReductionPolicy policy = [] {
+        const char* env = std::getenv("ARCADE_REDUCTION");
+        if (env == nullptr) return ReductionPolicy::Off;
+        const std::string value(env);
+        if (value == "auto" || value == "Auto" || value == "on" || value == "1") {
+            return ReductionPolicy::Auto;
+        }
+        return ReductionPolicy::Off;
+    }();
+    return policy;
+}
+
+ctmc::LumpSignature CompiledModel::lump_signature() const {
+    ctmc::LumpSignature signature;
+    signature.labels = chain_.label_names();
+    signature.values = {service_, cost_.state_rates()};
+    return signature;
+}
+
+std::pair<std::shared_ptr<const ctmc::QuotientCtmc>, bool> CompiledModel::quotient()
+    const {
+    std::lock_guard<std::mutex> lock(*quotient_mutex_);
+    if (quotient_ != nullptr) return {quotient_, false};
+    quotient_ = std::make_shared<const ctmc::QuotientCtmc>(chain_, lump_signature());
+    return {quotient_, true};
+}
 
 std::vector<bool> CompiledModel::service_at_least(double x) const {
     std::vector<bool> bits(service_.size());

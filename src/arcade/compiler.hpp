@@ -22,10 +22,14 @@
 #define ARCADE_ARCADE_COMPILER_HPP
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "arcade/types.hpp"
 #include "ctmc/ctmc.hpp"
+#include "ctmc/quotient.hpp"
 #include "engine/state_store.hpp"
 #include "rewards/rewards.hpp"
 
@@ -33,12 +37,28 @@ namespace arcade::core {
 
 enum class Encoding { Individual, Lumped };
 
+/// Whether analyses of a compiled model run on the automatic
+/// strong-bisimulation quotient (ctmc::QuotientCtmc) of its chain.
+///   Off  — every solver runs on the explored chain as-is.
+///   Auto — measures run on the coarsest quotient respecting the model's
+///          full measure signature (all chain labels + service levels +
+///          cost rates) and lift/aggregate results back.  Exact for every
+///          measure in this library; see src/ctmc/quotient.hpp.
+enum class ReductionPolicy { Off, Auto };
+
+/// Process-wide default, read once from the ARCADE_REDUCTION environment
+/// variable ("auto"/"on"/"1" select Auto; anything else, or unset, is Off).
+/// Lets CI force the whole test suite through the reduction layer.
+[[nodiscard]] ReductionPolicy default_reduction_policy();
+
 struct CompileOptions {
     Encoding encoding = Encoding::Individual;
     std::size_t max_states = 50'000'000;
     /// Worker threads for the sharded exploration; 0 = hardware concurrency.
     /// Any thread count produces the identical CTMC.
     unsigned threads = 0;
+    /// Run analyses on the lumped quotient of the compiled chain?
+    ReductionPolicy reduction = default_reduction_policy();
 };
 
 /// A disaster for survivability analysis: how many components of each phase
@@ -56,7 +76,8 @@ class CompiledModel {
 public:
     CompiledModel(ctmc::Ctmc chain, std::vector<double> service,
                   rewards::RewardStructure cost, ArcadeModel model,
-                  engine::StateStore store, Encoding encoding);
+                  engine::StateStore store, Encoding encoding,
+                  ReductionPolicy reduction = ReductionPolicy::Off);
 
     [[nodiscard]] const ctmc::Ctmc& chain() const noexcept { return chain_; }
     [[nodiscard]] ctmc::Ctmc& chain() noexcept { return chain_; }
@@ -83,6 +104,23 @@ public:
 
     [[nodiscard]] const ArcadeModel& model() const noexcept { return model_; }
     [[nodiscard]] Encoding encoding() const noexcept { return encoding_; }
+    [[nodiscard]] ReductionPolicy reduction() const noexcept { return reduction_; }
+
+    /// The model's full measure signature: every chain label plus the
+    /// service-level and cost-rate vectors — the union of everything any
+    /// measure in this library reads, so ONE quotient serves them all.
+    [[nodiscard]] ctmc::LumpSignature lump_signature() const;
+
+    /// The strong-bisimulation quotient of the chain w.r.t.
+    /// lump_signature(), computed lazily once per model (thread-safe) and
+    /// shared by every consumer.  `.second` reports whether this call built
+    /// it (false = cache hit); the AnalysisSession turns that into its
+    /// lump_hits/lump_misses counters.  Because the session deduplicates
+    /// models by fingerprint and each model holds one quotient over its
+    /// canonical signature, identical (model, signature) requests anywhere
+    /// in the process share one refinement.
+    [[nodiscard]] std::pair<std::shared_ptr<const ctmc::QuotientCtmc>, bool> quotient()
+        const;
 
     /// Index of the all-up initial state (always 0).
     [[nodiscard]] std::size_t initial_state() const noexcept { return 0; }
@@ -111,6 +149,11 @@ private:
     ArcadeModel model_;
     engine::StateStore store_;
     Encoding encoding_;
+    ReductionPolicy reduction_ = ReductionPolicy::Off;
+    /// Lazy quotient cache.  The mutex lives behind a shared_ptr so the
+    /// model stays movable (run_compile returns by value).
+    mutable std::shared_ptr<std::mutex> quotient_mutex_ = std::make_shared<std::mutex>();
+    mutable std::shared_ptr<const ctmc::QuotientCtmc> quotient_;
 
     [[nodiscard]] std::size_t lookup(const std::vector<std::int16_t>& encoded) const;
 };

@@ -8,7 +8,22 @@
 
 namespace arcade::core {
 
+namespace {
+
+/// The quotient to analyse instead of the full chain, or nullptr when the
+/// model was compiled with ReductionPolicy::Off.  Computed lazily once per
+/// model and shared (see CompiledModel::quotient).
+std::shared_ptr<const ctmc::QuotientCtmc> auto_quotient(const CompiledModel& model) {
+    if (model.reduction() != ReductionPolicy::Auto) return nullptr;
+    return model.quotient().first;
+}
+
+}  // namespace
+
 double availability(const CompiledModel& model) {
+    if (const auto q = auto_quotient(model)) {
+        return ctmc::steady_state_probability(q->chain(), q->chain().label("operational"));
+    }
     return ctmc::steady_state_probability(model.chain(), model.operational_states());
 }
 
@@ -37,11 +52,17 @@ std::vector<double> reliability_series(const CompiledModel& model,
                 "compile without_repair(model) first");
         }
     }
-    const std::vector<bool> phi(model.state_count(), true);
-    const std::vector<bool> down = model.chain().label("down");
-    const auto initial = model.chain().initial_distribution();
-    const auto p_down =
-        ctmc::bounded_until_series(model.chain(), initial, phi, down, times, transient);
+    // Bounded until commutes with lumping when its masks are
+    // block-constant: making psi-blocks absorbing in the quotient equals
+    // lumping the transformed chain.  "down" is part of every model's lump
+    // signature, so the quotient path is exact.
+    // The quotient chain already stores the projected initial distribution.
+    const auto q = auto_quotient(model);
+    const ctmc::Ctmc& chain = q ? q->chain() : model.chain();
+    const std::vector<bool> phi(chain.state_count(), true);
+    const std::vector<bool>& down = chain.label("down");
+    const auto p_down = ctmc::bounded_until_series(chain, chain.initial_distribution(),
+                                                   phi, down, times, transient);
     std::vector<double> reliability(p_down.size());
     for (std::size_t i = 0; i < p_down.size(); ++i) reliability[i] = 1.0 - p_down[i];
     return reliability;
@@ -50,6 +71,15 @@ std::vector<double> reliability_series(const CompiledModel& model,
 std::vector<double> survivability_series(const CompiledModel& model, const Disaster& disaster,
                                          double service_level, std::span<const double> times,
                                          const ctmc::TransientOptions& transient) {
+    if (const auto q = auto_quotient(model)) {
+        // Service levels are in the lump signature, so every service>=x
+        // mask is block-constant and the quotient solve is exact.
+        const std::vector<bool> phi(q->block_count(), true);
+        const auto target = q->project_mask(model.service_at_least(service_level));
+        const auto initial = q->project(model.disaster_distribution(disaster));
+        return ctmc::bounded_until_series(q->chain(), initial, phi, target, times,
+                                          transient);
+    }
     const std::vector<bool> phi(model.state_count(), true);
     const std::vector<bool> target = model.service_at_least(service_level);
     const auto initial = model.disaster_distribution(disaster);
@@ -66,6 +96,14 @@ std::vector<double> instantaneous_cost_series(const CompiledModel& model,
                                               const Disaster& disaster,
                                               std::span<const double> times,
                                               const ctmc::TransientOptions& transient) {
+    if (const auto q = auto_quotient(model)) {
+        const rewards::RewardStructure cost(
+            model.cost_reward().name(),
+            q->project_values(model.cost_reward().state_rates()));
+        const auto initial = q->project(model.disaster_distribution(disaster));
+        return rewards::instantaneous_reward_series(q->chain(), initial, cost, times,
+                                                    transient);
+    }
     const auto initial = model.disaster_distribution(disaster);
     return rewards::instantaneous_reward_series(model.chain(), initial, model.cost_reward(),
                                                 times, transient);
@@ -75,12 +113,26 @@ std::vector<double> accumulated_cost_series(const CompiledModel& model,
                                             const Disaster& disaster,
                                             std::span<const double> times,
                                             const ctmc::TransientOptions& transient) {
+    if (const auto q = auto_quotient(model)) {
+        const rewards::RewardStructure cost(
+            model.cost_reward().name(),
+            q->project_values(model.cost_reward().state_rates()));
+        const auto initial = q->project(model.disaster_distribution(disaster));
+        return rewards::accumulated_reward_series(q->chain(), initial, cost, times,
+                                                  transient);
+    }
     const auto initial = model.disaster_distribution(disaster);
     return rewards::accumulated_reward_series(model.chain(), initial, model.cost_reward(),
                                               times, transient);
 }
 
 double steady_state_cost(const CompiledModel& model) {
+    if (const auto q = auto_quotient(model)) {
+        const rewards::RewardStructure cost(
+            model.cost_reward().name(),
+            q->project_values(model.cost_reward().state_rates()));
+        return rewards::steady_state_reward(q->chain(), cost);
+    }
     return rewards::steady_state_reward(model.chain(), model.cost_reward());
 }
 

@@ -24,22 +24,17 @@ Ctmc::Ctmc(linalg::CsrMatrix rates, std::vector<double> initial_distribution)
     for (double v : rates_.values()) {
         if (v < 0.0) throw InvalidArgument("negative transition rate");
     }
-}
-
-double Ctmc::exit_rate(std::size_t state) const {
-    const auto cols = rates_.row_columns(state);
-    const auto vals = rates_.row_values(state);
-    double r = 0.0;
-    for (std::size_t k = 0; k < cols.size(); ++k) {
-        if (cols[k] != state) r += vals[k];
+    exit_rates_.resize(rates_.rows());
+    for (std::size_t s = 0; s < rates_.rows(); ++s) {
+        const auto cols = rates_.row_columns(s);
+        const auto vals = rates_.row_values(s);
+        double r = 0.0;
+        for (std::size_t k = 0; k < cols.size(); ++k) {
+            if (cols[k] != s) r += vals[k];
+        }
+        exit_rates_[s] = r;
+        max_exit_rate_ = std::max(max_exit_rate_, r);
     }
-    return r;
-}
-
-double Ctmc::max_exit_rate() const {
-    double m = 0.0;
-    for (std::size_t s = 0; s < state_count(); ++s) m = std::max(m, exit_rate(s));
-    return m;
 }
 
 void Ctmc::set_label(const std::string& name, std::vector<bool> states) {

@@ -31,10 +31,13 @@ public:
         return initial_;
     }
 
-    /// Total exit rate of `state`.
-    [[nodiscard]] double exit_rate(std::size_t state) const;
+    /// Total exit rate of `state`.  Cached at construction: uniformisation
+    /// reads these on every solver setup, so they must not re-sum CSR rows.
+    [[nodiscard]] double exit_rate(std::size_t state) const {
+        return exit_rates_[state];
+    }
     /// Largest exit rate over all states (uniformisation constant basis).
-    [[nodiscard]] double max_exit_rate() const;
+    [[nodiscard]] double max_exit_rate() const noexcept { return max_exit_rate_; }
 
     /// Registers a named state set.  Replaces an existing label of that name.
     void set_label(const std::string& name, std::vector<bool> states);
@@ -59,6 +62,8 @@ public:
 private:
     linalg::CsrMatrix rates_;
     std::vector<double> initial_;
+    std::vector<double> exit_rates_;  ///< per-state row sums sans diagonal
+    double max_exit_rate_ = 0.0;
     std::unordered_map<std::string, std::vector<bool>> labels_;
 };
 

@@ -1,8 +1,7 @@
 #include "engine/session.hpp"
 
-#include <cstring>
-
 #include "ctmc/steady_state.hpp"
+#include "graph/lumping.hpp"
 #include "linalg/vector_ops.hpp"
 #include "support/errors.hpp"
 
@@ -10,29 +9,20 @@ namespace arcade::engine {
 
 namespace {
 
-/// FNV-1a accumulator over heterogeneous fields.
+/// FNV-1a accumulator over heterogeneous fields (word mixing shared with
+/// the reduction layer's signature keys — graph/lumping.hpp).
 class Fingerprinter {
 public:
     explicit Fingerprinter(std::uint64_t seed) {
         mix(static_cast<std::uint64_t>(seed ^ 0x2545f4914f6cdd1dull));
     }
-    void mix(std::uint64_t v) {
-        for (int i = 0; i < 8; ++i) {
-            h_ ^= (v >> (8 * i)) & 0xffu;
-            h_ *= 1099511628211ull;
-        }
-    }
+    void mix(std::uint64_t v) { h_ = graph::fnv1a_mix(h_, v); }
     void mix(bool v) { mix(static_cast<std::uint64_t>(v)); }
     void mix(int v) { mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(v))); }
-    void mix(double v) {
-        std::uint64_t bits = 0;
-        std::memcpy(&bits, &v, sizeof bits);
-        mix(bits);
-    }
+    void mix(double v) { mix(graph::double_bits(v)); }
     void mix(const std::string& s) {
         for (const char c : s) {
-            h_ ^= static_cast<unsigned char>(c);
-            h_ *= 1099511628211ull;
+            h_ = graph::fnv1a_mix(h_, static_cast<unsigned char>(c));
         }
         mix(static_cast<std::uint64_t>(s.size()));
     }
@@ -45,15 +35,16 @@ public:
     [[nodiscard]] std::uint64_t value() const noexcept { return h_; }
 
 private:
-    std::uint64_t h_ = 1469598103934665603ull;
+    std::uint64_t h_ = graph::kFnv1aBasis;
 };
 
 std::uint64_t options_key(std::uint64_t model_fp, std::uint64_t encoding,
-                          std::size_t max_states) {
+                          std::size_t max_states, std::uint64_t reduction) {
     Fingerprinter fp(0);
     fp.mix(model_fp);
     fp.mix(encoding);
     fp.mix(max_states);
+    fp.mix(reduction);
     return fp.value();
 }
 
@@ -149,10 +140,12 @@ std::uint64_t fingerprint(const modules::ModuleSystem& system, std::uint64_t see
 AnalysisSession::CompiledPtr AnalysisSession::compile(const core::ArcadeModel& model,
                                                       const core::CompileOptions& options) {
     const std::uint64_t key = options_key(
-        fingerprint(model), static_cast<std::uint64_t>(options.encoding), options.max_states);
+        fingerprint(model), static_cast<std::uint64_t>(options.encoding), options.max_states,
+        static_cast<std::uint64_t>(options.reduction));
     const std::uint64_t check = options_key(fingerprint(model, /*seed=*/1),
                                             static_cast<std::uint64_t>(options.encoding),
-                                            options.max_states);
+                                            options.max_states,
+                                            static_cast<std::uint64_t>(options.reduction));
     {
         std::lock_guard<std::mutex> lock(mutex_);
         const auto it = compiled_.find(key);
@@ -177,9 +170,11 @@ AnalysisSession::CompiledPtr AnalysisSession::compile(const core::ArcadeModel& m
 
 AnalysisSession::ExploredPtr AnalysisSession::explore(const modules::ModuleSystem& system,
                                                       const modules::ExploreOptions& options) {
-    const std::uint64_t key = options_key(fingerprint(system), 0, options.max_states);
+    const std::uint64_t key =
+        options_key(fingerprint(system), 0, options.max_states, /*reduction=*/0);
     const std::uint64_t check =
-        options_key(fingerprint(system, /*seed=*/1), 0, options.max_states);
+        options_key(fingerprint(system, /*seed=*/1), 0, options.max_states,
+                    /*reduction=*/0);
     {
         std::lock_guard<std::mutex> lock(mutex_);
         const auto it = explored_.find(key);
@@ -201,6 +196,26 @@ AnalysisSession::ExploredPtr AnalysisSession::explore(const modules::ModuleSyste
     return entry.value;
 }
 
+std::shared_ptr<const ctmc::QuotientCtmc> AnalysisSession::quotient(
+    const CompiledPtr& model) {
+    return quotient_impl(model, /*count_hit=*/true);
+}
+
+std::shared_ptr<const ctmc::QuotientCtmc> AnalysisSession::quotient_impl(
+    const CompiledPtr& model, bool count_hit) {
+    ARCADE_ASSERT(model != nullptr, "quotient of a null model");
+    const auto [q, fresh] = model->quotient();
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (fresh) {
+        ++stats_.lump_misses;
+        stats_.lump_states_in += q->original_state_count();
+        stats_.lump_states_out += q->block_count();
+    } else if (count_hit) {
+        ++stats_.lump_hits;
+    }
+    return q;
+}
+
 std::shared_ptr<const std::vector<double>> AnalysisSession::steady_state(
     const CompiledPtr& model) {
     ARCADE_ASSERT(model != nullptr, "steady_state of a null model");
@@ -212,8 +227,17 @@ std::shared_ptr<const std::vector<double>> AnalysisSession::steady_state(
             return it->second.pi;
         }
     }
-    auto pi =
-        std::make_shared<const std::vector<double>>(ctmc::steady_state(model->chain()));
+    auto pi = [&] {
+        if (model->reduction() == core::ReductionPolicy::Auto) {
+            // Internal reuse of an already-requested quotient must not count
+            // as extra cache traffic (a fresh build still records the miss).
+            const auto q = quotient_impl(model, /*count_hit=*/false);
+            return std::make_shared<const std::vector<double>>(
+                q->lift(ctmc::steady_state(q->chain())));
+        }
+        return std::make_shared<const std::vector<double>>(
+            ctmc::steady_state(model->chain()));
+    }();
     std::lock_guard<std::mutex> lock(mutex_);
     const auto [it, inserted] = steady_.emplace(model.get(), SteadyEntry{model, std::move(pi)});
     if (inserted) {

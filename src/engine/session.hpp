@@ -40,6 +40,23 @@ struct SessionStats {
     std::size_t explore_misses = 0;
     std::size_t steady_state_hits = 0;
     std::size_t steady_state_misses = 0;
+    /// Quotient (lumping) cache: hits return the model's shared quotient,
+    /// misses run the partition refinement.
+    std::size_t lump_hits = 0;
+    std::size_t lump_misses = 0;
+    /// Cumulative chain sizes over lump misses: states fed into the
+    /// refinement vs blocks out — lump_states_in / lump_states_out is the
+    /// session's aggregate reduction ratio.
+    std::size_t lump_states_in = 0;
+    std::size_t lump_states_out = 0;
+
+    /// Aggregate state-space reduction achieved by lumping (>= 1; 1.0 when
+    /// nothing was lumped).
+    [[nodiscard]] double reduction_ratio() const noexcept {
+        return lump_states_out > 0 ? static_cast<double>(lump_states_in) /
+                                         static_cast<double>(lump_states_out)
+                                   : 1.0;
+    }
 };
 
 /// Counter delta between two stats() snapshots — how batch consumers (the
@@ -52,7 +69,11 @@ struct SessionStats {
                         after.explore_hits - before.explore_hits,
                         after.explore_misses - before.explore_misses,
                         after.steady_state_hits - before.steady_state_hits,
-                        after.steady_state_misses - before.steady_state_misses};
+                        after.steady_state_misses - before.steady_state_misses,
+                        after.lump_hits - before.lump_hits,
+                        after.lump_misses - before.lump_misses,
+                        after.lump_states_in - before.lump_states_in,
+                        after.lump_states_out - before.lump_states_out};
 }
 
 /// Structural fingerprint of a model (stable across identical rebuilds of
@@ -81,8 +102,21 @@ public:
 
     /// Steady-state distribution of `model`'s chain, solved once per model
     /// and cached for the session.  Returned by shared_ptr so the result
-    /// stays valid across concurrent clear() calls.
+    /// stays valid across concurrent clear() calls.  For models compiled
+    /// with ReductionPolicy::Auto the solve runs on the lumped quotient and
+    /// the block masses are lifted back (uniformly within blocks — exact
+    /// for every functional in the model's lump signature).
     [[nodiscard]] std::shared_ptr<const std::vector<double>> steady_state(
+        const CompiledPtr& model);
+
+    /// The model's strong-bisimulation quotient (see CompiledModel::
+    /// quotient), with the session accounting the lump cache counters and
+    /// reduction sizes: every call counts one request (hit or miss).  The
+    /// cache itself is the model's lazily-built quotient over its canonical
+    /// signature; since the compile cache deduplicates models by
+    /// fingerprint, identical (model, signature) requests share one
+    /// refinement.
+    [[nodiscard]] std::shared_ptr<const ctmc::QuotientCtmc> quotient(
         const CompiledPtr& model);
 
     /// Long-run probability of full service, from the cached distribution.
@@ -115,6 +149,12 @@ private:
         std::uint64_t check;  // second-stream fingerprint, verified on hit
         Ptr value;
     };
+
+    /// quotient() with the hit accounting optional: internal consumers
+    /// (the steady-state solve) reuse a quotient the caller already
+    /// requested, which must not inflate the traffic counters.
+    [[nodiscard]] std::shared_ptr<const ctmc::QuotientCtmc> quotient_impl(
+        const CompiledPtr& model, bool count_hit);
 
     mutable std::mutex mutex_;
     std::unordered_map<std::uint64_t, CacheEntry<CompiledPtr>> compiled_;

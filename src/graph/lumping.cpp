@@ -1,0 +1,91 @@
+#include "graph/lumping.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+
+#include "support/errors.hpp"
+
+namespace arcade::graph {
+
+namespace {
+
+/// Renumbers arbitrary block labels into first-occurrence order.
+Partition normalise(const std::vector<std::size_t>& labels) {
+    Partition out;
+    out.block_of.resize(labels.size());
+    std::unordered_map<std::size_t, std::size_t> remap;
+    remap.reserve(labels.size());
+    for (std::size_t v = 0; v < labels.size(); ++v) {
+        const auto [it, inserted] = remap.emplace(labels[v], out.count);
+        if (inserted) ++out.count;
+        out.block_of[v] = it->second;
+    }
+    return out;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::size_t>> Partition::members() const {
+    std::vector<std::vector<std::size_t>> out(count);
+    for (std::size_t v = 0; v < block_of.size(); ++v) out[block_of[v]].push_back(v);
+    return out;
+}
+
+Partition coarsest_lumping(const linalg::CsrMatrix& rates,
+                           const std::vector<std::size_t>& initial_block_of) {
+    const std::size_t n = rates.rows();
+    ARCADE_ASSERT(rates.cols() == n, "lumping needs a square matrix");
+    ARCADE_ASSERT(initial_block_of.size() == n, "initial partition size mismatch");
+    Partition partition = normalise(initial_block_of);
+    if (n == 0) return partition;
+
+    // Scratch reused across rounds.
+    std::vector<std::pair<std::size_t, double>> edges;  // (target block, rate)
+    std::vector<std::uint64_t> key;
+    std::vector<std::size_t> next(n);
+
+    for (;;) {
+        std::unordered_map<std::vector<std::uint64_t>, std::size_t, WordVectorHash> ids;
+        ids.reserve(partition.count * 2);
+        std::size_t next_count = 0;
+        for (std::size_t s = 0; s < n; ++s) {
+            const std::size_t own = partition.block_of[s];
+            edges.clear();
+            const auto cols = rates.row_columns(s);
+            const auto vals = rates.row_values(s);
+            for (std::size_t k = 0; k < cols.size(); ++k) {
+                if (cols[k] == s) continue;  // diagonal entries are not rates
+                const std::size_t b = partition.block_of[cols[k]];
+                if (b == own) continue;  // intra-block rates are unconstrained
+                edges.emplace_back(b, vals[k]);
+            }
+            // Sort by (block, value) so equal multisets of block-labelled
+            // rates accumulate in the same order — per-block sums become
+            // bitwise comparable across states.
+            std::sort(edges.begin(), edges.end(),
+                      [](const auto& a, const auto& b) {
+                          if (a.first != b.first) return a.first < b.first;
+                          return double_bits(a.second) < double_bits(b.second);
+                      });
+            key.clear();
+            key.push_back(own);
+            for (std::size_t k = 0; k < edges.size();) {
+                const std::size_t b = edges[k].first;
+                double sum = 0.0;
+                for (; k < edges.size() && edges[k].first == b; ++k) sum += edges[k].second;
+                key.push_back(b);
+                key.push_back(double_bits(sum));
+            }
+            const auto [it, inserted] = ids.emplace(key, next_count);
+            if (inserted) ++next_count;
+            next[s] = it->second;
+        }
+        if (next_count == partition.count) break;  // fixed point: lumpable
+        partition.block_of = next;
+        partition.count = next_count;
+    }
+    return partition;
+}
+
+}  // namespace arcade::graph

@@ -1,0 +1,86 @@
+// Coarsest ordinary-lumping (strong-bisimulation) partition of a weighted
+// digraph — the reduction behind the paper's "drastic state-space
+// minimisation": states are merged when they carry the same per-block
+// outgoing rate sums towards every other block.
+//
+// The refinement operator splits every block by the signature
+//   sig(s) = [ block(s), sorted { (block(target), summed rate) : targets
+//              outside block(s) } ]
+// and iterates to a fixed point (Paige–Tarjan style splitting, in its
+// round-based signature form).  A fixed point is exactly an ordinarily
+// lumpable partition, and iterating from any initial partition converges to
+// the *coarsest* lumpable refinement of it: if Q is lumpable and refines
+// partition P, then for states s,t sharing a Q-block and any P-block
+// C != block_P(s), C is a union of Q-blocks distinct from block_Q(s), so
+// r(s,C) = sum of per-Q-block rates = r(t,C) — s and t survive every split.
+//
+// Rates towards a state's *own* block (and diagonal entries) are deliberately
+// ignored: intra-block transitions never change the block of the aggregated
+// process, so ordinary lumpability does not constrain them.
+#ifndef ARCADE_GRAPH_LUMPING_HPP
+#define ARCADE_GRAPH_LUMPING_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "linalg/csr_matrix.hpp"
+
+namespace arcade::graph {
+
+/// FNV-1a offset basis / one-word mix — the hash behind every signature
+/// key in the reduction layer and the engine's model fingerprints.
+inline constexpr std::uint64_t kFnv1aBasis = 1469598103934665603ull;
+
+[[nodiscard]] constexpr std::uint64_t fnv1a_mix(std::uint64_t h,
+                                                std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xffu;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/// Exact bit pattern of a double (signature keys must distinguish values
+/// the way the refinement compares them: bitwise).
+[[nodiscard]] inline std::uint64_t double_bits(double v) noexcept {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    return bits;
+}
+
+/// Hash for word-sequence keys (per-state signatures).
+struct WordVectorHash {
+    std::size_t operator()(const std::vector<std::uint64_t>& key) const noexcept {
+        std::uint64_t h = kFnv1aBasis;
+        for (const std::uint64_t w : key) h = fnv1a_mix(h, w);
+        return static_cast<std::size_t>(h);
+    }
+};
+
+/// A partition of the vertex set into consecutively numbered blocks.
+/// Block ids are assigned in order of first occurrence by vertex index, so
+/// the numbering is deterministic (vertex 0 is always in block 0).
+struct Partition {
+    std::vector<std::size_t> block_of;  ///< block_of[v] = block id of vertex v
+    std::size_t count = 0;              ///< number of blocks
+
+    [[nodiscard]] std::size_t size() const noexcept { return block_of.size(); }
+
+    /// Members of each block, in ascending vertex order.
+    [[nodiscard]] std::vector<std::vector<std::size_t>> members() const;
+};
+
+/// The coarsest ordinary-lumping partition of `rates` refining the initial
+/// partition `initial_block_of` (vertices with equal entries start in the
+/// same block; the numbering itself is irrelevant).  Diagonal entries are
+/// ignored.  Rate comparisons are exact: per-(state, target-block) sums are
+/// accumulated in sorted value order, so two states with the same multiset
+/// of block-labelled rates produce bitwise-identical signatures.
+[[nodiscard]] Partition coarsest_lumping(const linalg::CsrMatrix& rates,
+                                         const std::vector<std::size_t>& initial_block_of);
+
+}  // namespace arcade::graph
+
+#endif  // ARCADE_GRAPH_LUMPING_HPP

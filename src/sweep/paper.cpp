@@ -45,28 +45,42 @@ void render_series_figure(const SweepReport& report, const std::string& title,
     fig.print(os);
 }
 
+}  // namespace
+
 const ScenarioResult& find_or_throw(const SweepReport& report, int line,
                                     const std::string& strategy, MeasureKind kind,
-                                    const std::string& variant) {
-    const auto* r = find(report, line, strategy, kind, DisasterKind::None, 1.0, variant);
+                                    DisasterKind disaster, double service_level,
+                                    const std::string& variant,
+                                    std::size_t parameter_index) {
+    const auto* r = find(report, line, strategy, kind, disaster, service_level, variant,
+                         parameter_index);
     if (r == nullptr) {
-        throw InvalidArgument("render: missing " + to_string(kind) + " cell for line " +
-                              std::to_string(line) + ", strategy " + strategy +
-                              (variant.empty() ? std::string() : ", variant " + variant));
+        throw InvalidArgument(
+            "render: missing " + to_string(kind) + " cell for line " +
+            std::to_string(line) + ", strategy " + strategy +
+            (variant.empty() ? std::string() : ", variant " + variant) +
+            (parameter_index > 0
+                 ? ", parameter set " + std::to_string(parameter_index)
+                 : std::string()));
     }
     return *r;
 }
 
-}  // namespace
+std::vector<std::string> strategy_names() {
+    std::vector<std::string> names;
+    for (const auto& s : watertree::paper_strategies()) names.push_back(s.name);
+    return names;
+}
 
 const ScenarioResult* find(const SweepReport& report, int line,
                            const std::string& strategy, MeasureKind kind,
                            DisasterKind disaster, double service_level,
-                           const std::string& variant) {
+                           const std::string& variant, std::size_t parameter_index) {
     for (const auto& r : report.results) {
         const auto& m = r.item.measure;
         if (r.item.line == line && r.item.strategy == strategy && m.kind == kind &&
             m.disaster == disaster && m.service_level == service_level &&
+            r.item.parameter_index == parameter_index &&
             (variant.empty() || r.item.variant.name == variant)) {
             return &r;
         }
@@ -131,7 +145,7 @@ ScenarioGrid fig11() {
 ScenarioGrid table1() {
     ScenarioGrid grid;
     grid.lines = {1, 2};
-    grid.strategies = {"DED", "FRF-1", "FRF-2", "FFF-1", "FFF-2"};
+    grid.strategies = strategy_names();
     // The paper's (individual) encoding next to the lumped comparison.
     grid.variants = {individual_variant(), lumped_variant()};
     grid.measures = {{MeasureKind::StateSpace, DisasterKind::None, 1.0, {}}};
@@ -141,7 +155,7 @@ ScenarioGrid table1() {
 ScenarioGrid table2() {
     ScenarioGrid grid;
     grid.lines = {1, 2};
-    grid.strategies = {"DED", "FRF-1", "FRF-2", "FFF-1", "FFF-2"};
+    grid.strategies = strategy_names();
     grid.measures = {{MeasureKind::Availability, DisasterKind::None, 1.0, {}}};
     return grid;
 }
@@ -153,7 +167,7 @@ ScenarioGrid everything() {
 
     ScenarioGrid grid;
     grid.lines = {1, 2};
-    grid.strategies = {"DED", "FRF-1", "FRF-2", "FFF-1", "FFF-2"};
+    grid.strategies = strategy_names();
     grid.measures = {
         {MeasureKind::Availability, DisasterKind::None, 1.0, {}},              // Table 2
         {MeasureKind::Survivability, DisasterKind::AllPumps, kX1, short_grid},  // Fig 4
@@ -237,13 +251,17 @@ void render_table1(const SweepReport& report, std::ostream& os) {
                  "L1 lumped", "L2 lumped"});
     for (const auto& row : paper) {
         const auto& l1 =
-            find_or_throw(report, 1, row.name, MeasureKind::StateSpace, "individual");
+            find_or_throw(report, 1, row.name, MeasureKind::StateSpace,
+                          DisasterKind::None, 1.0, "individual");
         const auto& l2 =
-            find_or_throw(report, 2, row.name, MeasureKind::StateSpace, "individual");
+            find_or_throw(report, 2, row.name, MeasureKind::StateSpace,
+                          DisasterKind::None, 1.0, "individual");
         const auto& l1_lumped =
-            find_or_throw(report, 1, row.name, MeasureKind::StateSpace, "lumped");
+            find_or_throw(report, 1, row.name, MeasureKind::StateSpace,
+                          DisasterKind::None, 1.0, "lumped");
         const auto& l2_lumped =
-            find_or_throw(report, 2, row.name, MeasureKind::StateSpace, "lumped");
+            find_or_throw(report, 2, row.name, MeasureKind::StateSpace,
+                          DisasterKind::None, 1.0, "lumped");
         table.add_row({row.name,
                        std::to_string(l1.model_states) + " (" + std::to_string(row.s1) + ")",
                        std::to_string(l1.model_transitions) + " (" + std::to_string(row.t1) +
@@ -280,9 +298,9 @@ void render_table2(const SweepReport& report, std::ostream& os) {
     char buf[128];
     for (const auto& row : paper) {
         const double a1 =
-            find_or_throw(report, 1, row.name, MeasureKind::Availability, {}).values.front();
+            find_or_throw(report, 1, row.name, MeasureKind::Availability).values.front();
         const double a2 =
-            find_or_throw(report, 2, row.name, MeasureKind::Availability, {}).values.front();
+            find_or_throw(report, 2, row.name, MeasureKind::Availability).values.front();
         const double combined = core::combined_availability(a1, a2);
         std::vector<std::string> cells;
         cells.emplace_back(row.name);

@@ -42,12 +42,26 @@ namespace arcade::sweep::paper {
 [[nodiscard]] ScenarioGrid everything();
 
 /// First result of `report` matching the given cell coordinates, or nullptr.
-/// An empty `variant` matches any variant name.
+/// An empty `variant` matches any variant name; `parameter_index` selects
+/// the grid's parameter set (0 = the baseline, which is the only set in
+/// every paper grid — multi-set reports like the MTTR study pass the rest).
 [[nodiscard]] const ScenarioResult* find(const SweepReport& report, int line,
                                          const std::string& strategy, MeasureKind kind,
                                          DisasterKind disaster = DisasterKind::None,
                                          double service_level = 1.0,
-                                         const std::string& variant = {});
+                                         const std::string& variant = {},
+                                         std::size_t parameter_index = 0);
+
+/// find(), but a missing cell throws InvalidArgument naming the coordinates
+/// (the renderers' contract: a report of the wrong grid fails loudly).
+[[nodiscard]] const ScenarioResult& find_or_throw(
+    const SweepReport& report, int line, const std::string& strategy, MeasureKind kind,
+    DisasterKind disaster = DisasterKind::None, double service_level = 1.0,
+    const std::string& variant = {}, std::size_t parameter_index = 0);
+
+/// The paper's five strategy names in Table 1 order (the watertree layer's
+/// paper_strategies(), as the strings a ScenarioGrid takes).
+[[nodiscard]] std::vector<std::string> strategy_names();
 
 // Renderers: turn the report of the matching grid into the exact artefact
 // (figure block or table, including its preamble) the pre-migration harness

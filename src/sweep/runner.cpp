@@ -121,20 +121,28 @@ core::Disaster make_disaster(DisasterKind kind, const core::CompiledModel& model
 
 engine::AnalysisSession::CompiledPtr compile_item(engine::AnalysisSession& session,
                                                   const ScenarioGrid& grid,
-                                                  const WorkItem& item) {
+                                                  const WorkItem& item,
+                                                  core::ReductionPolicy reduction) {
     const auto& strat = watertree::strategy(item.strategy);
     const auto& params = grid.parameters[item.parameter_index].params;
     // Reliability is defined on the repair-free model regardless of variant.
     const bool with_repair =
         item.variant.repair && item.measure.kind != MeasureKind::Reliability;
     return watertree::compile_line(session, item.line, strat, item.variant.encoding,
-                                   params, with_repair);
+                                   params, with_repair, reduction);
 }
 
 ScenarioResult evaluate(engine::AnalysisSession& session, const ScenarioGrid& grid,
-                        const WorkItem& item) {
+                        const WorkItem& item, core::ReductionPolicy reduction) {
     const double t0 = now_seconds();
-    const auto model = compile_item(session, grid, item);
+    const auto model = compile_item(session, grid, item, reduction);
+    // Route the quotient lookup through the session so the lump cache
+    // counters see one request per cell (the measures below reuse the same
+    // shared quotient).
+    if (reduction == core::ReductionPolicy::Auto &&
+        item.measure.kind != MeasureKind::StateSpace) {
+        (void)session.quotient(model);
+    }
     const auto transient = core::session_transient(session);
 
     ScenarioResult result;
@@ -197,22 +205,36 @@ SweepReport SweepRunner::run(const ScenarioGrid& grid, const std::vector<WorkIte
     // Phase 1: compile each unique model prefix exactly once.  Without this
     // barrier two work items sharing a prefix could race into the session
     // cache and compile the same model twice.
-    std::map<std::string, std::size_t> unique_models;  // model key -> first item
+    struct ModelWork {
+        std::size_t first_item;
+        bool needs_quotient = false;  ///< any sharing item runs a solver
+    };
+    std::map<std::string, ModelWork> unique_models;  // model key -> plan
     for (std::size_t i = 0; i < items.size(); ++i) {
-        unique_models.emplace(items[i].model_key(), i);
+        auto& work = unique_models.emplace(items[i].model_key(), ModelWork{i}).first->second;
+        if (items[i].measure.kind != MeasureKind::StateSpace) work.needs_quotient = true;
     }
-    std::vector<std::size_t> to_compile;
+    std::vector<const ModelWork*> to_compile;
     to_compile.reserve(unique_models.size());
-    for (const auto& [key, index] : unique_models) to_compile.push_back(index);
+    for (const auto& [key, work] : unique_models) to_compile.push_back(&work);
     run_stealing(workers, to_compile.size(), [&](std::size_t i) {
-        (void)compile_item(session_, grid, items[to_compile[i]]);
+        const auto model =
+            compile_item(session_, grid, items[to_compile[i]->first_item],
+                         options_.reduction);
+        // Build the quotient inside the barrier too, so phase 2 never
+        // serialises behind a partition refinement (and the lump counters
+        // attribute the miss to this run).
+        if (options_.reduction == core::ReductionPolicy::Auto &&
+            to_compile[i]->needs_quotient) {
+            (void)session_.quotient(model);
+        }
     });
 
     // Phase 2: evaluate every cell; results land in grid order by index.
     SweepReport report;
     report.results.resize(items.size());
     run_stealing(workers, items.size(), [&](std::size_t i) {
-        report.results[i] = evaluate(session_, grid, items[i]);
+        report.results[i] = evaluate(session_, grid, items[i], options_.reduction);
     });
 
     report.unique_models = unique_models.size();

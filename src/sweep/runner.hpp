@@ -58,6 +58,11 @@ struct RunnerOptions {
     /// Which slice of the expanded work list this process runs (1/1 = all).
     /// Applies to run(grid) only; pre-expanded item lists are the caller's.
     ShardSpec shard;
+    /// Analyse every cell on the automatic lumped quotient of its model?
+    /// Flows into CompileOptions::reduction for every compile of the run;
+    /// quotients are built in the phase-1 compile barrier and the report's
+    /// stats carry the lump cache counters and reduction sizes.
+    core::ReductionPolicy reduction = core::default_reduction_policy();
 };
 
 class SweepRunner {

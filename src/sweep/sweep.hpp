@@ -1,6 +1,8 @@
 // Umbrella header for the scenario-sweep subsystem: declare a grid
 // (scenario.hpp), run it (runner.hpp), export the results (export.hpp),
-// or start from the paper's ready-made figure/table specs (paper.hpp).
+// or start from the ready-made specs — the paper's figures/tables
+// (paper.hpp) and the beyond-the-paper ablation/sensitivity studies
+// (studies.hpp).
 #ifndef ARCADE_SWEEP_SWEEP_HPP
 #define ARCADE_SWEEP_SWEEP_HPP
 
@@ -8,5 +10,6 @@
 #include "sweep/paper.hpp"
 #include "sweep/runner.hpp"
 #include "sweep/scenario.hpp"
+#include "sweep/studies.hpp"
 
 #endif  // ARCADE_SWEEP_SWEEP_HPP

@@ -16,7 +16,20 @@ std::vector<Strategy> paper_strategies() {
 }
 
 const Strategy& strategy(const std::string& name) {
-    static const std::vector<Strategy> all = paper_strategies();
+    static const std::vector<Strategy> all = [] {
+        std::vector<Strategy> out = paper_strategies();
+        // Preemptive variants of the priority strategies (the scheduling
+        // ablation): same policy and crews, crews derived from the state.
+        const std::size_t base = out.size();
+        for (std::size_t i = 0; i < base; ++i) {
+            if (out[i].policy == core::RepairPolicy::Dedicated) continue;
+            Strategy pre = out[i];
+            pre.name += "-pre";
+            pre.preemptive = true;
+            out.push_back(std::move(pre));
+        }
+        return out;
+    }();
     for (const auto& s : all) {
         if (s.name == name) return s;
     }
@@ -70,9 +83,11 @@ engine::AnalysisSession::CompiledPtr compile_line(engine::AnalysisSession& sessi
                                                   int number, const Strategy& strategy,
                                                   core::Encoding encoding,
                                                   const Parameters& params,
-                                                  bool with_repair) {
+                                                  bool with_repair,
+                                                  core::ReductionPolicy reduction) {
     core::CompileOptions options;
     options.encoding = encoding;
+    options.reduction = reduction;
     core::ArcadeModel model = line(number, strategy, params);
     if (!with_repair) model = core::without_repair(model);
     return session.compile(model, options);

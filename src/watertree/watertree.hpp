@@ -44,8 +44,10 @@ struct Strategy {
 /// DED, FRF-1, FRF-2, FFF-1, FFF-2 (the paper's Table 1 rows).
 [[nodiscard]] std::vector<Strategy> paper_strategies();
 
-/// Strategy lookup by paper name ("DED", "FRF-1", ...).  Throws
-/// InvalidArgument on unknown names.
+/// Strategy lookup by paper name ("DED", "FRF-1", ...).  A "-pre" suffix on
+/// any priority strategy ("FRF-1-pre", ...) selects its preemptive variant
+/// (the scheduling ablation; dedicated repair has no crew contention to
+/// preempt).  Throws InvalidArgument on unknown names.
 [[nodiscard]] const Strategy& strategy(const std::string& name);
 
 /// Builds line 1 or 2 by number.
@@ -54,13 +56,15 @@ struct Strategy {
 
 /// Session-cached compilation of one line (the figure harnesses' and the
 /// sweep runner's entry point): callers asking for the same (line, strategy,
-/// encoding, parameters, repair) variant share one CompiledModel.
+/// encoding, parameters, repair, reduction) variant share one CompiledModel.
 /// `with_repair = false` strips the repair units before compiling (the
-/// reliability measure and the no-repair model variants).
+/// reliability measure and the no-repair model variants); `reduction`
+/// selects whether measures of the model run on its lumped quotient.
 [[nodiscard]] engine::AnalysisSession::CompiledPtr compile_line(
     engine::AnalysisSession& session, int number, const Strategy& strategy,
     core::Encoding encoding = core::Encoding::Individual, const Parameters& params = {},
-    bool with_repair = true);
+    bool with_repair = true,
+    core::ReductionPolicy reduction = core::default_reduction_policy());
 
 /// Line 1: 3 softeners, 3 sand filters, 1 reservoir, 4 pumps (3+1 spare).
 [[nodiscard]] core::ArcadeModel line1(const Strategy& strategy,

@@ -271,3 +271,20 @@ TEST(Ctmc, ValidationRejectsBadInputs) {
     b2.add(0, 1, 1.0);
     EXPECT_THROW(ctmc::Ctmc(b2.build(), {0.7, 0.0}), std::exception);  // mass != 1
 }
+
+TEST(Ctmc, ExitRatesAreCachedAtConstructionAndIgnoreDiagonal) {
+    la::CsrBuilder b(3, 3);
+    b.add(0, 1, 1.5);
+    b.add(0, 2, 2.5);
+    b.add(0, 0, 7.0);  // diagonal entries never count towards exit rates
+    b.add(1, 2, 0.25);
+    const ctmc::Ctmc chain(b.build(), {1.0, 0.0, 0.0});
+    EXPECT_DOUBLE_EQ(chain.exit_rate(0), 4.0);
+    EXPECT_DOUBLE_EQ(chain.exit_rate(1), 0.25);
+    EXPECT_DOUBLE_EQ(chain.exit_rate(2), 0.0);
+    EXPECT_DOUBLE_EQ(chain.max_exit_rate(), 4.0);
+    // Derived chains recompute their own cache.
+    const auto absorbed = chain.make_absorbing({true, false, false});
+    EXPECT_DOUBLE_EQ(absorbed.exit_rate(0), 0.0);
+    EXPECT_DOUBLE_EQ(absorbed.max_exit_rate(), 0.25);
+}

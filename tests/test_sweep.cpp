@@ -459,3 +459,58 @@ TEST(SweepRunner, ParameterPerturbationsAreDistinctCells) {
     // ten-times-slower pump repair must strictly hurt availability
     EXPECT_LT(report.results[1].values.front(), report.results[0].values.front());
 }
+
+TEST(Studies, MttrSensitivityBaselineReproducesThePaperCells) {
+    // The 1.00x parameter set divides every MTTR by exactly 1.0, so its
+    // cells are the paper's models — fingerprint-identical to a direct
+    // compile — while the perturbed sets are distinct cells.
+    const auto grid = sweep::studies::mttr_sensitivity({0.5, 1.0, 2.0});
+    ASSERT_EQ(grid.parameters.size(), 3u);
+    EXPECT_EQ(grid.parameters[1].name, "repair-rate-1.00x");
+
+    engine::AnalysisSession session;
+    sweep::SweepRunner runner(session);
+    const auto report = runner.run(grid);
+    core::CompileOptions lumped;
+    lumped.encoding = core::Encoding::Lumped;
+    const double direct = core::availability(
+        session, session.compile(wt::line2(wt::strategy("DED")), lumped));
+    const sweep::ScenarioResult* baseline = nullptr;
+    const sweep::ScenarioResult* slow = nullptr;
+    const sweep::ScenarioResult* fast = nullptr;
+    for (const auto& r : report.results) {
+        if (r.item.line != 2 || r.item.strategy != "DED" ||
+            r.item.measure.kind != sweep::MeasureKind::Availability) {
+            continue;
+        }
+        if (r.item.parameter_index == 0) slow = &r;
+        if (r.item.parameter_index == 1) baseline = &r;
+        if (r.item.parameter_index == 2) fast = &r;
+    }
+    ASSERT_NE(baseline, nullptr);
+    ASSERT_NE(slow, nullptr);
+    ASSERT_NE(fast, nullptr);
+    EXPECT_EQ(baseline->values.front(), direct);  // same cached model
+    // Halved repair rates hurt availability; doubled rates improve it.
+    EXPECT_LT(slow->values.front(), baseline->values.front());
+    EXPECT_GT(fast->values.front(), baseline->values.front());
+
+    // The renderer needs every (line, strategy, parameter) cell; smoke it.
+    std::ostringstream os;
+    sweep::studies::render_mttr_sensitivity(report, grid, os);
+    EXPECT_NE(os.str().find("repair-rate-2.00x"), std::string::npos);
+    EXPECT_NE(os.str().find("L2 FFF-2"), std::string::npos);
+
+    EXPECT_THROW((void)sweep::studies::mttr_sensitivity({}), arcade::InvalidArgument);
+    EXPECT_THROW((void)sweep::studies::mttr_sensitivity({-1.0}), arcade::InvalidArgument);
+}
+
+TEST(Studies, PreemptiveStrategyVariantsResolveByName) {
+    const auto& pre = wt::strategy("FRF-2-pre");
+    EXPECT_TRUE(pre.preemptive);
+    EXPECT_EQ(pre.crews, 2u);
+    EXPECT_EQ(pre.policy, core::RepairPolicy::FastestRepairFirst);
+    // The paper's own strategy list is unchanged.
+    EXPECT_EQ(wt::paper_strategies().size(), 5u);
+    EXPECT_THROW((void)wt::strategy("DED-pre"), arcade::InvalidArgument);
+}

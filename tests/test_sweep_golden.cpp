@@ -7,6 +7,7 @@
 // harness — in an independent session.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 #include <string>
@@ -216,6 +217,111 @@ TEST(SweepGolden, Table1StateSpaceRowsAreByteIdentical) {
 
     EXPECT_EQ(rendered_by_sweep(sweep::paper::table1(), sweep::paper::render_table1),
               expected.str());
+}
+
+TEST(SweepGolden, AblationEncodingsRowsAreByteIdentical) {
+    // The pre-migration harness: per line and strategy, session-cached
+    // individual + lumped compiles, availability off each, hand-formatted.
+    engine::AnalysisSession session;
+    core::CompileOptions lumped;
+    lumped.encoding = core::Encoding::Lumped;
+    std::ostringstream expected;
+    expected << "=== Ablation: individual vs lumped encoding ===\n\n";
+    arcade::Table table({"Model", "Indiv. states", "Lumped states", "Reduction",
+                         "Indiv. avail", "Lumped avail", "|diff|"});
+    char buf[64];
+    for (const auto* line : {"line1", "line2"}) {
+        for (const auto* name : {"DED", "FRF-1", "FRF-2", "FFF-1", "FFF-2"}) {
+            const auto model = std::string(line) == "line1"
+                                   ? wt::line1(wt::strategy(name))
+                                   : wt::line2(wt::strategy(name));
+            const auto individual = session.compile(model);
+            const auto lumped_model = session.compile(model, lumped);
+            const double ai = core::availability(session, individual);
+            const double al = core::availability(session, lumped_model);
+            std::vector<std::string> cells;
+            cells.emplace_back(std::string(line) + " " + name);
+            cells.emplace_back(std::to_string(individual->state_count()));
+            cells.emplace_back(std::to_string(lumped_model->state_count()));
+            std::snprintf(buf, sizeof buf, "%.1fx",
+                          static_cast<double>(individual->state_count()) /
+                              static_cast<double>(lumped_model->state_count()));
+            cells.emplace_back(buf);
+            std::snprintf(buf, sizeof buf, "%.7f", ai);
+            cells.emplace_back(buf);
+            std::snprintf(buf, sizeof buf, "%.7f", al);
+            cells.emplace_back(buf);
+            std::snprintf(buf, sizeof buf, "%.1e", std::abs(ai - al));
+            cells.emplace_back(buf);
+            table.add_row(std::move(cells));
+        }
+    }
+    table.print(expected);
+    expected << "\n(measures agree to solver precision; the lumped encoding is the\n"
+                " 'drastic reduction' the paper's conclusion anticipates)\n";
+
+    engine::AnalysisSession sweep_session;
+    sweep::SweepRunner runner(sweep_session);
+    const auto report = runner.run(sweep::studies::ablation_encodings());
+    std::ostringstream actual;
+    sweep::studies::render_ablation_encodings(report, actual);
+    EXPECT_EQ(actual.str(), expected.str());
+}
+
+TEST(SweepGolden, AblationPreemptionRowsAreByteIdentical) {
+    // The pre-migration harness: lumped line-2 compiles of each strategy
+    // and its preemptive twin, availability + survivability to full
+    // service at 10 h after Disaster 2, plus the individual-encoding
+    // state-count footnote.
+    engine::AnalysisSession session;
+    core::CompileOptions lumped;
+    lumped.encoding = core::Encoding::Lumped;
+    const auto compile_variant = [&](const char* policy_name, bool preemptive) {
+        auto strat = wt::strategy(policy_name);
+        strat.preemptive = preemptive;
+        strat.name += preemptive ? "-pre" : "";
+        return session.compile(wt::line2(strat), lumped);
+    };
+    std::ostringstream expected;
+    expected << "=== Ablation: non-preemptive (paper) vs preemptive scheduling ===\n\n";
+    arcade::Table table({"Strategy", "Avail (non-pre)", "Avail (preempt)",
+                         "Surv@10h X4 (non-pre)", "Surv@10h X4 (preempt)"});
+    const auto disaster = wt::disaster2();
+    char buf[64];
+    for (const auto* name : {"FRF-1", "FRF-2", "FFF-1", "FFF-2"}) {
+        const auto np = compile_variant(name, false);
+        const auto pre = compile_variant(name, true);
+        std::vector<std::string> cells;
+        cells.emplace_back(name);
+        std::snprintf(buf, sizeof buf, "%.7f", core::availability(session, np));
+        cells.emplace_back(buf);
+        std::snprintf(buf, sizeof buf, "%.7f", core::availability(session, pre));
+        cells.emplace_back(buf);
+        std::snprintf(buf, sizeof buf, "%.5f", core::survivability(*np, disaster, 1.0, 10.0));
+        cells.emplace_back(buf);
+        std::snprintf(buf, sizeof buf, "%.5f",
+                      core::survivability(*pre, disaster, 1.0, 10.0));
+        cells.emplace_back(buf);
+        table.add_row(std::move(cells));
+    }
+    table.print(expected);
+    expected << "\n(state spaces also differ: preemption needs no tracked in-repair\n"
+                " slot, so the individual encoding shrinks from 8129 states to "
+             << [&] {
+                    auto strat = wt::strategy("FRF-1");
+                    strat.preemptive = true;
+                    strat.name += "-pre";
+                    return session.compile(wt::line2(strat))->state_count();
+                }()
+             << ")\n";
+
+    engine::AnalysisSession sweep_session;
+    sweep::SweepRunner runner(sweep_session);
+    const auto report = runner.run(sweep::studies::ablation_preemption());
+    const auto sizes = runner.run(sweep::studies::ablation_preemption_sizes());
+    std::ostringstream actual;
+    sweep::studies::render_ablation_preemption(report, sizes, actual);
+    EXPECT_EQ(actual.str(), expected.str());
 }
 
 TEST(SweepGolden, Table2AvailabilityRowsAreByteIdentical) {
