@@ -1,0 +1,184 @@
+// Partition-refinement micro-benchmarks: the round-based reference vs the
+// splitter-queue (Valmari–Franceschinis) rewrite, on the paper's line-2
+// individual encodings (the models behind the Disaster-2 figures; FRF/FFF
+// explore 8129 states, DED 512).  Both algorithms start from the model's
+// full measure signature and return identical partitions (asserted by
+// test_lumping); this harness quantifies the work gap — states/sec,
+// refinement passes, final (= peak, counts only grow) block count, and
+// edges scanned.
+//
+// Results are APPENDED into BENCH_engine.json (the perf trajectory file the
+// engine benchmarks write): the run lands in a temp JSON first and its
+// benchmark entries are spliced into the existing document, so one file
+// carries both harnesses' rows.  --benchmark_out overrides as usual.
+#include <benchmark/benchmark.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arcade/compiler.hpp"
+#include "graph/lumping.hpp"
+#include "watertree/watertree.hpp"
+
+namespace core = arcade::core;
+namespace graph = arcade::graph;
+namespace wt = arcade::watertree;
+
+namespace {
+
+const core::CompiledModel& line2(const std::string& strategy) {
+    static std::map<std::string, core::CompiledModel> cache;
+    const auto it = cache.find(strategy);
+    if (it != cache.end()) return it->second;
+    return cache.emplace(strategy, core::compile(wt::line2(wt::strategy(strategy))))
+        .first->second;
+}
+
+/// The model's measure-signature partition (what QuotientCtmc seeds the
+/// refinement with): states grouped by exact label bits and value rows.
+std::vector<std::size_t> signature_partition(const core::CompiledModel& model) {
+    const auto signature = model.lump_signature();
+    std::map<std::vector<std::uint64_t>, std::size_t> ids;
+    std::vector<std::size_t> initial(model.state_count());
+    for (std::size_t s = 0; s < model.state_count(); ++s) {
+        std::vector<std::uint64_t> key;
+        for (const auto& label : signature.labels) {
+            key.push_back(model.chain().label(label)[s] ? 1 : 0);
+        }
+        for (const auto& row : signature.values) {
+            key.push_back(graph::double_bits(row[s]));
+        }
+        initial[s] = ids.emplace(std::move(key), ids.size()).first->second;
+    }
+    return initial;
+}
+
+void run_lumping(benchmark::State& state, const char* strategy,
+                 graph::LumpingAlgorithm algorithm) {
+    const auto& model = line2(strategy);
+    const auto initial = signature_partition(model);
+    graph::LumpingStats stats;
+    std::size_t blocks = 0;
+    for (auto _ : state) {
+        stats = graph::LumpingStats{};
+        const auto partition =
+            graph::coarsest_lumping(model.chain().rates(), initial, algorithm, &stats);
+        blocks = partition.count;
+        benchmark::DoNotOptimize(blocks);
+    }
+    state.counters["states"] = static_cast<double>(model.state_count());
+    state.counters["blocks"] = static_cast<double>(blocks);  // final == peak
+    state.counters["passes"] = static_cast<double>(stats.passes);
+    state.counters["edges_scanned"] = static_cast<double>(stats.edges_scanned);
+    state.counters["states/s"] =
+        benchmark::Counter(static_cast<double>(model.state_count()),
+                           benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_LumpingRounds(benchmark::State& state, const char* strategy) {
+    run_lumping(state, strategy, graph::LumpingAlgorithm::Rounds);
+}
+void BM_LumpingSplitterQueue(benchmark::State& state, const char* strategy) {
+    run_lumping(state, strategy, graph::LumpingAlgorithm::SplitterQueue);
+}
+
+BENCHMARK_CAPTURE(BM_LumpingRounds, l2_individual_FRF1, "FRF-1")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_LumpingSplitterQueue, l2_individual_FRF1, "FRF-1")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_LumpingRounds, l2_individual_FFF2, "FFF-2")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_LumpingSplitterQueue, l2_individual_FFF2, "FFF-2")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_LumpingRounds, l2_individual_DED, "DED")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_LumpingSplitterQueue, l2_individual_DED, "DED")
+    ->Unit(benchmark::kMillisecond);
+
+/// Splices the "benchmarks" array entries of `addition` into `target`
+/// (google-benchmark JSON documents).  Returns false when either document
+/// does not look like one.
+bool append_benchmarks(const std::string& target_path, const std::string& addition_path) {
+    std::ifstream target_in(target_path);
+    std::ifstream addition_in(addition_path);
+    if (!addition_in) return false;
+    std::stringstream addition_buf;
+    addition_buf << addition_in.rdbuf();
+    const std::string addition = addition_buf.str();
+    if (!target_in) {
+        // No trajectory file yet: the new document becomes it.
+        std::ofstream out(target_path);
+        out << addition;
+        return static_cast<bool>(out);
+    }
+    std::stringstream target_buf;
+    target_buf << target_in.rdbuf();
+    std::string target = target_buf.str();
+    target_in.close();
+
+    const std::string marker = "\"benchmarks\": [";
+    const auto a_begin = addition.find(marker);
+    const auto a_end = addition.rfind(']');
+    const auto t_end = target.rfind(']');
+    if (a_begin == std::string::npos || a_end == std::string::npos ||
+        t_end == std::string::npos || target.find(marker) == std::string::npos) {
+        return false;
+    }
+    const auto trim = [](std::string s) {
+        while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())) != 0) {
+            s.pop_back();
+        }
+        return s;
+    };
+    const std::string entries = trim(addition.substr(a_begin + marker.size(),
+                                                     a_end - a_begin - marker.size()));
+    if (entries.empty()) return true;  // nothing to add
+    std::string prefix = trim(target.substr(0, t_end));
+    if (prefix.empty()) return false;
+    const bool empty_array = prefix.back() == '[';
+    std::ofstream out(target_path);
+    out << prefix << (empty_array ? "\n" : ",\n") << entries << "\n  ]\n}\n";
+    return static_cast<bool>(out);
+}
+
+}  // namespace
+
+// Custom main: unless --benchmark_out is given, results land in a temp JSON
+// whose benchmark entries are appended into BENCH_engine.json, so the
+// lumping rows ride the same perf-trajectory file as the engine benchmarks.
+int main(int argc, char** argv) {
+    bool has_out = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0 ||
+            std::strcmp(argv[i], "--benchmark_out") == 0) {
+            has_out = true;
+        }
+    }
+    static char out_flag[] = "--benchmark_out=BENCH_lumping.tmp.json";
+    static char fmt_flag[] = "--benchmark_out_format=json";
+    std::vector<char*> args(argv, argv + argc);
+    if (!has_out) {
+        args.push_back(out_flag);
+        args.push_back(fmt_flag);
+    }
+    int args_count = static_cast<int>(args.size());
+    benchmark::Initialize(&args_count, args.data());
+    if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    if (!has_out) {
+        if (append_benchmarks("BENCH_engine.json", "BENCH_lumping.tmp.json")) {
+            std::remove("BENCH_lumping.tmp.json");
+            std::printf("appended lumping rows to BENCH_engine.json\n");
+        } else {
+            std::printf("left results in BENCH_lumping.tmp.json (no merge target)\n");
+        }
+    }
+    return 0;
+}

@@ -11,13 +11,16 @@
 //
 //   arcade_sweep [--threads N] [--csv out.csv] [--json out.json]
 //                [--shard i/n] [--csv-footer] [--reduction off|auto]
-//                [--mttr-sweep]
+//                [--mttr-sweep] [--properties]
 //
 // --reduction auto analyses every scenario on the automatic
 // strong-bisimulation quotient of its model (see README, "The reduction
 // layer"); --mttr-sweep swaps the paper grid for the MTTR-sensitivity study
 // (repair rates scaled ±50% around the paper's values via
-// ScenarioGrid::parameters) and renders its tables instead.
+// ScenarioGrid::parameters) and renders its tables instead; --properties
+// swaps in sweep::paper::properties() — the same evaluation with every
+// measure expressed as a CSL/CSRL formula (watertree::properties), checked
+// through the engine's property cache.
 //
 // --shard i/n runs only the i-th of n contiguous slices of the expanded
 // work list (1-based).  Slices are deterministic, disjoint and exhaustive;
@@ -46,6 +49,7 @@ int main(int argc, char** argv) {
     sweep::ShardSpec shard;
     bool csv_footer = false;
     bool mttr_sweep = false;
+    bool properties_sweep = false;
     core::ReductionPolicy reduction = core::default_reduction_policy();
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -73,6 +77,8 @@ int main(int argc, char** argv) {
             csv_footer = true;
         } else if (arg == "--mttr-sweep") {
             mttr_sweep = true;
+        } else if (arg == "--properties") {
+            properties_sweep = true;
         } else if (arg == "--reduction" && has_value) {
             const std::string value = argv[++i];
             if (value == "off") {
@@ -87,15 +93,20 @@ int main(int argc, char** argv) {
         } else {
             std::cerr << "usage: arcade_sweep [--threads N] [--csv PATH] [--json PATH] "
                          "[--shard i/n] [--csv-footer] [--reduction off|auto] "
-                         "[--mttr-sweep]\n";
+                         "[--mttr-sweep] [--properties]\n";
             return 2;
         }
     }
 
     using sweep::DisasterKind;
     using sweep::MeasureKind;
-    const auto grid = mttr_sweep ? sweep::studies::mttr_sensitivity()
-                                 : sweep::paper::everything();
+    if (mttr_sweep && properties_sweep) {
+        std::cerr << "arcade_sweep: --mttr-sweep and --properties are exclusive\n";
+        return 2;
+    }
+    const auto grid = mttr_sweep        ? sweep::studies::mttr_sensitivity()
+                      : properties_sweep ? sweep::paper::properties()
+                                         : sweep::paper::everything();
 
     sweep::SweepRunner runner(arcade::engine::AnalysisSession::global(),
                               {threads, shard, reduction});
@@ -109,6 +120,8 @@ int main(int argc, char** argv) {
                   << " work items\n";
     } else if (mttr_sweep) {
         sweep::studies::render_mttr_sensitivity(report, grid, std::cout);
+    } else if (properties_sweep) {
+        sweep::paper::render_properties(report, grid, std::cout);
     } else {
         // --- Table 2, availability column ---------------------------------
         std::cout << "=== Sweep: Table 2 availability (from the declarative grid) ===\n";
@@ -175,6 +188,10 @@ int main(int argc, char** argv) {
                   << report.stats.lump_states_out << " blocks (";
         std::snprintf(buf, sizeof buf, "%.1fx", report.stats.reduction_ratio());
         std::cout << buf << ")\n";
+    }
+    if (properties_sweep) {
+        std::cout << "# properties: " << report.stats.property_misses
+                  << " checked / " << report.stats.property_hits << " cache hits\n";
     }
     std::cout << "# throughput: " << report.state_points
               << " state-points in ";

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
@@ -692,6 +693,16 @@ CompiledModel run_compile(const ArcadeModel& model, const Plan& plan, Encoder en
         for (std::size_t s = 0; s < n; ++s) bits[s] = service[s] <= 1e-9;
         return bits;
     }());
+    // One label per distinct positive service level (the paper's interval
+    // bounds), with the exact bit vector service_at_least() computes — so
+    // CSL formulas (watertree::properties) can name the paper's
+    // survivability targets and reproduce the measure pipeline bit for bit.
+    for (const double level : phase_service_levels(model)) {
+        if (level <= 1e-9) continue;
+        std::vector<bool> bits(n);
+        for (std::size_t s = 0; s < n; ++s) bits[s] = service[s] >= level - 1e-9;
+        chain.set_label(service_label(level), std::move(bits));
+    }
 
     return CompiledModel(std::move(chain), std::move(service),
                          rewards::RewardStructure("cost", std::move(cost)), model,
@@ -711,6 +722,12 @@ CompiledModel::CompiledModel(ctmc::Ctmc chain, std::vector<double> service,
       store_(std::move(store)),
       encoding_(encoding),
       reduction_(reduction) {}
+
+std::string service_label(double level) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "service>=%.17g", level);
+    return buf;
+}
 
 ReductionPolicy default_reduction_policy() {
     static const ReductionPolicy policy = [] {

@@ -51,6 +51,13 @@ enum class ReductionPolicy { Off, Auto };
 /// Lets CI force the whole test suite through the reduction layer.
 [[nodiscard]] ReductionPolicy default_reduction_policy();
 
+/// Name of the chain label marking states with service level >= `level`
+/// (within the library-wide 1e-9 tolerance): "service>=<level>", the level
+/// printed round-trip exact (%.17g).  The compiler registers one such label
+/// per distinct positive service level of the model, so CSL formulas can
+/// name the paper's service intervals (see watertree::properties).
+[[nodiscard]] std::string service_label(double level);
+
 struct CompileOptions {
     Encoding encoding = Encoding::Individual;
     std::size_t max_states = 50'000'000;

@@ -86,6 +86,16 @@ public:
     /// for block-constant functionals; see the header comment.
     [[nodiscard]] std::vector<double> lift(std::span<const double> per_block) const;
 
+    /// Value lift: every member receives its block's value verbatim (the
+    /// inverse of project_values).  This is the lift for per-state
+    /// *functionals* — CSL satisfaction probabilities, reward values — which
+    /// are block-constant on bisimilar states, unlike distribution mass.
+    [[nodiscard]] std::vector<double> lift_values(std::span<const double> per_block) const;
+
+    /// Mask lift: every member receives its block's bit verbatim (the
+    /// inverse of project_mask) — CSL satisfaction sets come back this way.
+    [[nodiscard]] std::vector<bool> lift_mask(const std::vector<bool>& per_block) const;
+
     /// Series lift: one lifted distribution per grid point.
     [[nodiscard]] std::vector<std::vector<double>> lift_series(
         const std::vector<std::vector<double>>& per_block_series) const;

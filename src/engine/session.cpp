@@ -3,6 +3,7 @@
 #include "ctmc/steady_state.hpp"
 #include "graph/lumping.hpp"
 #include "linalg/vector_ops.hpp"
+#include "logic/csl_compiled.hpp"
 #include "support/errors.hpp"
 
 namespace arcade::engine {
@@ -216,6 +217,53 @@ std::shared_ptr<const ctmc::QuotientCtmc> AnalysisSession::quotient_impl(
     return q;
 }
 
+std::shared_ptr<const logic::CheckResult> AnalysisSession::check_property(
+    const CompiledPtr& model, const logic::StateFormula& formula, double epsilon) {
+    ARCADE_ASSERT(model != nullptr, "check_property of a null model");
+    // Key = (model fingerprint + compile shape, formula fingerprint,
+    // epsilon); like the compile cache, a second-stream fingerprint is
+    // stored and verified so a collision cannot return the wrong result.
+    const auto key_of = [&](std::uint64_t seed) {
+        Fingerprinter fp(seed);
+        fp.mix(fingerprint(model->model(), seed));
+        fp.mix(static_cast<std::uint64_t>(model->encoding()));
+        fp.mix(static_cast<std::uint64_t>(model->reduction()));
+        fp.mix(logic::fingerprint(formula, seed));
+        fp.mix(epsilon);
+        return fp.value();
+    };
+    const std::uint64_t key = key_of(0);
+    const std::uint64_t check = key_of(1);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = properties_.find(key);
+        if (it != properties_.end() && it->second.check == check) {
+            ++stats_.property_hits;
+            return it->second.result;
+        }
+    }
+    // Evaluate outside the lock: the checker re-enters the session for the
+    // quotient and the cached steady-state solve.
+    logic::CheckerOptions options;
+    options.epsilon = epsilon;
+    auto fresh = std::make_shared<const logic::CheckResult>(
+        logic::check(*this, model, formula, options));
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& entry = properties_[key];
+    if (entry.result != nullptr && entry.check == check) {
+        ++stats_.property_hits;  // lost a benign race; reuse the winner
+        return entry.result;
+    }
+    entry = {check, model, std::move(fresh)};
+    ++stats_.property_misses;
+    return entry.result;
+}
+
+std::shared_ptr<const logic::CheckResult> AnalysisSession::check_property(
+    const CompiledPtr& model, const std::string& formula, double epsilon) {
+    return check_property(model, *logic::parse_csl(formula), epsilon);
+}
+
 std::shared_ptr<const std::vector<double>> AnalysisSession::steady_state(
     const CompiledPtr& model) {
     ARCADE_ASSERT(model != nullptr, "steady_state of a null model");
@@ -273,6 +321,7 @@ void AnalysisSession::clear() {
     compiled_.clear();
     explored_.clear();
     steady_.clear();
+    properties_.clear();
     workspace_.clear();
     stats_ = SessionStats{};
 }

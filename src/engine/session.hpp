@@ -30,6 +30,11 @@
 #include "modules/explorer.hpp"
 #include "modules/modules.hpp"
 
+namespace arcade::logic {
+class StateFormula;
+struct CheckResult;
+}  // namespace arcade::logic
+
 namespace arcade::engine {
 
 /// Cache effectiveness counters (reported by the perf benchmarks).
@@ -49,6 +54,11 @@ struct SessionStats {
     /// session's aggregate reduction ratio.
     std::size_t lump_states_in = 0;
     std::size_t lump_states_out = 0;
+    /// CSL property cache: hits return the memoised CheckResult for an
+    /// identical (model fingerprint, formula fingerprint, epsilon) request,
+    /// misses run the checker (on the quotient under ReductionPolicy::Auto).
+    std::size_t property_hits = 0;
+    std::size_t property_misses = 0;
 
     /// Aggregate state-space reduction achieved by lumping (>= 1; 1.0 when
     /// nothing was lumped).
@@ -73,7 +83,9 @@ struct SessionStats {
                         after.lump_hits - before.lump_hits,
                         after.lump_misses - before.lump_misses,
                         after.lump_states_in - before.lump_states_in,
-                        after.lump_states_out - before.lump_states_out};
+                        after.lump_states_out - before.lump_states_out,
+                        after.property_hits - before.property_hits,
+                        after.property_misses - before.property_misses};
 }
 
 /// Structural fingerprint of a model (stable across identical rebuilds of
@@ -119,6 +131,19 @@ public:
     [[nodiscard]] std::shared_ptr<const ctmc::QuotientCtmc> quotient(
         const CompiledPtr& model);
 
+    /// Model-checks a CSL/CSRL formula on `model`, memoised for the session
+    /// keyed by (model fingerprint, formula fingerprint, epsilon) — the
+    /// repeated-scenario path for properties, mirroring steady_state().
+    /// Evaluation (logic::check over the session) runs on the model's lumped
+    /// quotient under ReductionPolicy::Auto and reuses the cached
+    /// steady-state solve for top-level S / R[S] queries; see
+    /// logic/csl_compiled.hpp.
+    [[nodiscard]] std::shared_ptr<const logic::CheckResult> check_property(
+        const CompiledPtr& model, const logic::StateFormula& formula,
+        double epsilon = 1e-12);
+    [[nodiscard]] std::shared_ptr<const logic::CheckResult> check_property(
+        const CompiledPtr& model, const std::string& formula, double epsilon = 1e-12);
+
     /// Long-run probability of full service, from the cached distribution.
     [[nodiscard]] double availability(const CompiledPtr& model);
 
@@ -144,6 +169,14 @@ private:
         std::shared_ptr<const std::vector<double>> pi;
     };
 
+    /// Property cache entry: pins the model (its quotient backs the result)
+    /// and carries the second-stream fingerprint, verified on every hit.
+    struct PropertyEntry {
+        std::uint64_t check = 0;
+        CompiledPtr model;
+        std::shared_ptr<const logic::CheckResult> result;
+    };
+
     template <typename Ptr>
     struct CacheEntry {
         std::uint64_t check;  // second-stream fingerprint, verified on hit
@@ -160,6 +193,7 @@ private:
     std::unordered_map<std::uint64_t, CacheEntry<CompiledPtr>> compiled_;
     std::unordered_map<std::uint64_t, CacheEntry<ExploredPtr>> explored_;
     std::unordered_map<const core::CompiledModel*, SteadyEntry> steady_;
+    std::unordered_map<std::uint64_t, PropertyEntry> properties_;
     WorkspacePool workspace_;
     SessionStats stats_;
 };

@@ -13,6 +13,7 @@
 #ifndef ARCADE_LOGIC_CSL_HPP
 #define ARCADE_LOGIC_CSL_HPP
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
@@ -116,6 +117,40 @@ struct CheckerOptions {
     double epsilon = 1e-12;
     std::map<std::string, rewards::RewardStructure> reward_structures;
 };
+
+/// Registry type the checker resolves R{"name"} structures from.  The
+/// evaluation context carries one of these by reference — structures are
+/// never copied or re-looked-up per recursion level.
+using RewardRegistry = std::map<std::string, rewards::RewardStructure>;
+
+/// Validates checker options and the formula's numeric literals before any
+/// solver runs: epsilon must lie in (0, 1); P/S thresholds must be finite
+/// probabilities in [0, 1]; R thresholds, U/F/G time bounds and reward times
+/// must be finite and non-negative.  Malformed values throw InvalidArgument
+/// (the library-wide taxonomy for caller mistakes) — never ModelError, which
+/// is reserved for chains structurally unsuited to a query.
+void validate(const CheckerOptions& options);
+void validate(const StateFormula& formula);
+
+/// Canonical textual form of a formula, re-parsable by parse_csl: binary
+/// operators fully parenthesised, numbers printed round-trip exact (%.17g).
+/// parse → print → parse is the identity on the AST (G re-parses via its
+/// Until desugaring), which the round-trip tests pin for every formula in
+/// watertree::properties.
+[[nodiscard]] std::string to_string(const StateFormula& formula);
+
+/// Structural fingerprint of a formula (FNV-1a over the canonical printed
+/// form).  `seed` selects an independent hash stream, mirroring
+/// engine::fingerprint: property caches store a second-stream check value
+/// and verify it on every hit.
+[[nodiscard]] std::uint64_t fingerprint(const StateFormula& formula,
+                                        std::uint64_t seed = 0);
+
+/// True when the formula contains a Next (X) path operator anywhere.  Next
+/// reads jump probabilities, which depend on intra-block rates that ordinary
+/// lumpability leaves unconstrained — the quotient-aware checker falls back
+/// to the full chain for such formulas.
+[[nodiscard]] bool contains_next(const StateFormula& formula);
 
 /// Parses the textual CSL/CSRL syntax, e.g.
 ///   P=? [ true U<=100 "down" ]

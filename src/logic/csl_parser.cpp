@@ -1,4 +1,7 @@
 // Recursive-descent parser for the CSL/CSRL textual syntax (see csl.hpp).
+//
+// Every ParseError names the byte offset of the offending token, so tooling
+// (and humans staring at generated formulas) can point at the exact spot.
 #include <cctype>
 
 #include "logic/csl.hpp"
@@ -8,6 +11,10 @@ namespace arcade::logic {
 
 namespace {
 
+[[noreturn]] void fail(const std::string& what, std::size_t offset) {
+    throw ParseError("CSL: " + what + " at byte offset " + std::to_string(offset));
+}
+
 class Cursor {
 public:
     explicit Cursor(const std::string& text) : text_(text) {}
@@ -16,6 +23,12 @@ public:
         while (i_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[i_])) != 0) {
             ++i_;
         }
+    }
+
+    /// Byte offset of the next token (whitespace skipped).
+    [[nodiscard]] std::size_t offset() {
+        skip();
+        return i_;
     }
 
     [[nodiscard]] bool done() {
@@ -39,30 +52,28 @@ public:
     }
 
     void expect(const std::string& token) {
-        if (!accept(token)) {
-            throw ParseError("expected '" + token + "' at position " + std::to_string(i_) +
-                             " in CSL formula");
-        }
+        if (!accept(token)) fail("expected '" + token + "'", offset());
     }
 
     double number() {
-        skip();
+        const std::size_t at = offset();
         std::size_t consumed = 0;
         double v = 0.0;
         try {
             v = std::stod(text_.substr(i_), &consumed);
         } catch (const std::exception&) {
-            throw ParseError("expected a number at position " + std::to_string(i_));
+            fail("expected a number", at);
         }
         i_ += consumed;
         return v;
     }
 
     std::string quoted() {
+        const std::size_t at = offset();
         expect("\"");
         std::size_t j = i_;
         while (j < text_.size() && text_[j] != '"') ++j;
-        if (j >= text_.size()) throw ParseError("unterminated label name");
+        if (j >= text_.size()) fail("unterminated label name", at);
         std::string out = text_.substr(i_, j - i_);
         i_ = j + 1;
         return out;
@@ -79,7 +90,7 @@ public:
 
     StateFormulaPtr parse() {
         StateFormulaPtr f = parse_or();
-        if (!cur_.done()) throw ParseError("trailing input in CSL formula");
+        if (!cur_.done()) fail("trailing input", cur_.offset());
         return f;
     }
 
@@ -88,6 +99,22 @@ private:
 
     static StateFormulaPtr make(StateFormula::Node node) {
         return std::make_shared<const StateFormula>(std::move(node));
+    }
+
+    /// Builds the P node for a G path parsed as its dual Until:
+    /// P(G f) {><} p  <=>  P(U dual) {<>} 1-p, and =? queries complement the
+    /// value via a Negation the checker evaluates numerically (1 - value).
+    static StateFormulaPtr make_globally(Bound b, PathFormula path) {
+        switch (b.comparison) {
+            case Comparison::Query: break;
+            case Comparison::Lt: b.comparison = Comparison::Gt; b.threshold = 1.0 - b.threshold; break;
+            case Comparison::Le: b.comparison = Comparison::Ge; b.threshold = 1.0 - b.threshold; break;
+            case Comparison::Gt: b.comparison = Comparison::Lt; b.threshold = 1.0 - b.threshold; break;
+            case Comparison::Ge: b.comparison = Comparison::Le; b.threshold = 1.0 - b.threshold; break;
+        }
+        StateFormulaPtr inner = make(Probabilistic{b, std::move(path)});
+        if (b.comparison == Comparison::Query) return make(Negation{inner});
+        return inner;
     }
 
     StateFormulaPtr parse_or() {
@@ -123,7 +150,8 @@ private:
             b.comparison = Comparison::Gt;
             b.threshold = cur_.number();
         } else {
-            throw ParseError("expected a probability/reward bound (=?, <p, <=p, >p, >=p)");
+            fail("expected a probability/reward bound (=?, <p, <=p, >p, >=p)",
+                 cur_.offset());
         }
         return b;
     }
@@ -140,8 +168,15 @@ private:
         if (cur_.accept("P")) {
             Bound b = parse_bound();
             cur_.expect("[");
+            globally_ = false;
             PathFormula path = parse_path();
+            // Consume the flag at THIS P node: a nested P [G ...] inside the
+            // path has already consumed its own, so the duality fixup never
+            // leaks across operator levels.
+            const bool globally = globally_;
+            globally_ = false;
             cur_.expect("]");
+            if (globally) return make_globally(b, std::move(path));
             return make(Probabilistic{b, std::move(path)});
         }
         if (cur_.accept("S")) {
@@ -154,8 +189,7 @@ private:
         if (cur_.accept("R")) {
             std::string structure;
             if (cur_.accept("{")) {
-                Cursor& c = cur_;
-                structure = c.quoted();
+                structure = cur_.quoted();
                 cur_.expect("}");
             }
             Bound b = parse_bound();
@@ -180,7 +214,7 @@ private:
         if (cur_.accept("S")) {
             return SteadyStateReward{};
         }
-        throw ParseError("expected a reward property: I=t, C<=t, or S");
+        fail("expected a reward property: I=t, C<=t, or S", cur_.offset());
     }
 
     PathFormula parse_path() {
@@ -188,18 +222,14 @@ private:
             return NextPath{parse_or()};
         }
         if (cur_.accept("G")) {
-            // G<=t f  ==  ! (true U<=t !f); desugared by the checker via
-            // duality, so represent as Until with negated operands marker.
-            // We express it directly: G<=t f = 1 - P[true U<=t !f].
-            // Keep the parser simple: build the dual Until and wrap in a
-            // negation at the state level is not possible inside a path
-            // formula, so the checker handles `globally` via this flag.
+            // G<=t f is the dual of an Until:  P(G f) = 1 - P(true U !f).
+            // The parser desugars to the Until and records the complement;
+            // the enclosing P node folds it into its formula (flipped
+            // bounds, or a numeric Negation for =? queries, make_globally),
+            // so the checker never needs a dedicated `globally` node.
             std::optional<double> bound;
             if (cur_.accept("<=")) bound = cur_.number();
             StateFormulaPtr f = parse_or();
-            // represent G f as  !(true U !f)  at the state level:
-            // the caller (parse_unary) wraps in Probabilistic, so encode as
-            // Until with swapped/negated shape handled below.
             StateFormulaPtr not_f = std::make_shared<const StateFormula>(Negation{f});
             StateFormulaPtr tru = std::make_shared<const StateFormula>(BoolLiteral{true});
             UntilPath u{tru, not_f, bound};
@@ -221,51 +251,15 @@ private:
         return UntilPath{lhs, rhs, bound};
     }
 
-public:
-    /// Set when the last parsed path formula was a G (globally); the checker
-    /// applies the duality P(G) = 1 - P(U-dual).  Exposed via the returned
-    /// formula by wrapping in the parser below.
+    /// Set by parse_path when the path just parsed was a G (globally),
+    /// consumed — and reset — by the immediately enclosing P node.
     bool globally_ = false;
 };
 
 }  // namespace
 
 StateFormulaPtr parse_csl(const std::string& text) {
-    CslParser parser(text);
-    StateFormulaPtr f = parser.parse();
-    if (parser.globally_) {
-        // P bound [G ...] was parsed as the dual Until; fix up:
-        // P=?[G f] = 1 - P=?[true U !f]  -> wrap in negation of the
-        // probabilistic with complemented bound is subtle, so instead
-        // signal via a dedicated transformation: the dual holds because
-        // the parser already negated the operand; we only need to flip
-        // the resulting probability, which the checker does when it sees
-        // this wrapper.
-        if (const auto* prob = std::get_if<Probabilistic>(&f->node())) {
-            Probabilistic flipped = *prob;
-            // mark by negating at the state level: P(G f) >= p  <=>  P(U dual) <= 1-p
-            Bound b = flipped.bound;
-            switch (b.comparison) {
-                case Comparison::Query: break;
-                case Comparison::Lt: b.comparison = Comparison::Gt; b.threshold = 1.0 - b.threshold; break;
-                case Comparison::Le: b.comparison = Comparison::Ge; b.threshold = 1.0 - b.threshold; break;
-                case Comparison::Gt: b.comparison = Comparison::Lt; b.threshold = 1.0 - b.threshold; break;
-                case Comparison::Ge: b.comparison = Comparison::Le; b.threshold = 1.0 - b.threshold; break;
-            }
-            flipped.bound = b;
-            // For =? queries the checker must return 1 - value; encode via
-            // the complement flag on the formula node.
-            auto node = StateFormula::Node(Probabilistic{flipped.bound, flipped.path});
-            auto inner = std::make_shared<const StateFormula>(std::move(node));
-            if (b.comparison == Comparison::Query) {
-                // Represent 1 - P=?[...] as Negation(prob) — the checker
-                // interprets Negation over a quantitative query numerically.
-                return std::make_shared<const StateFormula>(Negation{inner});
-            }
-            return inner;
-        }
-    }
-    return f;
+    return CslParser(text).parse();
 }
 
 }  // namespace arcade::logic

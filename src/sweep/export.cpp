@@ -15,6 +15,16 @@ std::string fmt(double v) {
     return buf;
 }
 
+/// Does the grid carry CSL property measures?  Decides (from the grid, not
+/// the result slice, so every shard of one sweep agrees) whether the CSV
+/// grows its trailing `property` column.
+bool has_property(const ScenarioGrid& grid) {
+    for (const auto& m : grid.measures) {
+        if (m.kind == MeasureKind::Property) return true;
+    }
+    return false;
+}
+
 }  // namespace
 
 std::string json_escape(const std::string& s) {
@@ -48,8 +58,15 @@ std::string csv_field(const std::string& s) {
 
 void write_csv(const SweepReport& report, const ScenarioGrid& grid, std::ostream& os,
                const CsvOptions& options) {
+    // Grids without property measures keep the original 9-column schema;
+    // property grids append a trailing `property` column carrying the
+    // formula, so rows stay self-describing (two formulas in one grid are
+    // otherwise indistinguishable).
+    const bool property_column = has_property(grid);
     if (options.header) {
-        os << "line,strategy,parameters,variant,measure,disaster,service_level,t,value\n";
+        os << "line,strategy,parameters,variant,measure,disaster,service_level,t,value";
+        if (property_column) os << ",property";
+        os << "\n";
     }
     for (const auto& r : report.results) {
         const auto& m = r.item.measure;
@@ -60,12 +77,15 @@ void write_csv(const SweepReport& report, const ScenarioGrid& grid, std::ostream
             to_string(m.kind) + "," +
             to_string(m.disaster) + "," +
             (m.kind == MeasureKind::Survivability ? fmt(m.service_level) : "") + ",";
+        const std::string suffix =
+            property_column ? "," + csv_field(m.property) : std::string();
         if (m.is_series()) {
             for (std::size_t i = 0; i < r.values.size(); ++i) {
-                os << prefix << fmt(m.times[i]) << "," << fmt(r.values[i]) << "\n";
+                os << prefix << fmt(m.times[i]) << "," << fmt(r.values[i]) << suffix
+                   << "\n";
             }
         } else {
-            os << prefix << "," << fmt(r.values.front()) << "\n";
+            os << prefix << "," << fmt(r.values.front()) << suffix << "\n";
         }
     }
     if (options.footer) {
@@ -77,6 +97,8 @@ void write_csv(const SweepReport& report, const ScenarioGrid& grid, std::ostream
            << " cache_hit_rate=" << fmt(report.cache_hit_rate())
            << " lump_hits=" << report.stats.lump_hits
            << " lump_misses=" << report.stats.lump_misses
+           << " property_hits=" << report.stats.property_hits
+           << " property_misses=" << report.stats.property_misses
            << " reduction_ratio=" << fmt(report.stats.reduction_ratio())
            << " state_points=" << report.state_points
            << " states_per_sec=" << fmt(report.states_per_second())
@@ -97,6 +119,8 @@ void write_json(const SweepReport& report, const ScenarioGrid& grid, std::ostrea
        << "    \"lump_misses\": " << report.stats.lump_misses << ",\n"
        << "    \"lump_states_in\": " << report.stats.lump_states_in << ",\n"
        << "    \"lump_states_out\": " << report.stats.lump_states_out << ",\n"
+       << "    \"property_hits\": " << report.stats.property_hits << ",\n"
+       << "    \"property_misses\": " << report.stats.property_misses << ",\n"
        << "    \"reduction_ratio\": " << fmt(report.stats.reduction_ratio()) << ",\n"
        << "    \"state_points\": " << report.state_points << ",\n"
        << "    \"states_per_second\": " << fmt(report.states_per_second()) << ",\n"
@@ -112,7 +136,8 @@ void write_json(const SweepReport& report, const ScenarioGrid& grid, std::ostrea
            << "\", \"variant\": \"" << json_escape(r.item.variant.name)
            << "\", \"measure\": \"" << to_string(m.kind) << "\", \"disaster\": \""
            << to_string(m.disaster) << "\", \"service_level\": " << fmt(m.service_level)
-           << ", \"model_states\": " << r.model_states
+           << ", \"formula\": \"" << json_escape(m.property)
+           << "\", \"model_states\": " << r.model_states
            << ", \"model_transitions\": " << r.model_transitions
            << ", \"seconds\": " << fmt(r.seconds) << ",\n     \"times\": [";
         for (std::size_t k = 0; k < m.times.size(); ++k) {

@@ -8,6 +8,7 @@
 #include "arcade/measures.hpp"
 #include "support/errors.hpp"
 #include "support/series.hpp"
+#include "watertree/properties.hpp"
 
 namespace arcade::sweep::paper {
 
@@ -178,6 +179,103 @@ ScenarioGrid everything() {
         {MeasureKind::Survivability, DisasterKind::Mixed, kX2, long_grid},     // Fig 9
     };
     return grid;
+}
+
+ScenarioGrid properties() {
+    const auto short_grid = time_grid(4.5, 91);    // Figs 4–6
+    const auto cost_grid = time_grid(10.0, 101);   // Fig 7
+    const auto long_grid = time_grid(100.0, 101);  // Figs 8–9
+    constexpr double kInstCostTime = 4.5;    // Fig 6 horizon
+    constexpr double kAccCostHorizon = 10.0;  // Fig 7 horizon
+
+    namespace wp = watertree::properties;
+    const auto property = [](std::string formula, DisasterKind disaster,
+                             std::vector<double> times) {
+        MeasureSpec m;
+        m.kind = MeasureKind::Property;
+        m.disaster = disaster;
+        m.times = std::move(times);
+        m.property = std::move(formula);
+        return m;
+    };
+
+    ScenarioGrid grid;
+    grid.lines = {1, 2};
+    grid.strategies = strategy_names();
+    grid.measures = {
+        property(wp::availability_formula(), DisasterKind::None, {}),  // Table 2
+        property(wp::survivability_formula(kX1, 4.5), DisasterKind::AllPumps,
+                 short_grid),  // Fig 4
+        property(wp::survivability_formula(kX2, 4.5), DisasterKind::AllPumps,
+                 short_grid),  // Fig 5
+        property(wp::instantaneous_cost_formula(kInstCostTime), DisasterKind::AllPumps,
+                 short_grid),  // Fig 6
+        property(wp::accumulated_cost_formula(kAccCostHorizon), DisasterKind::AllPumps,
+                 cost_grid),  // Fig 7
+        property(wp::survivability_formula(kX1, 100.0), DisasterKind::Mixed,
+                 long_grid),  // Fig 8
+        property(wp::survivability_formula(kX2, 100.0), DisasterKind::Mixed,
+                 long_grid),  // Fig 9
+    };
+    return grid;
+}
+
+const ScenarioResult* find_property(const SweepReport& report, int line,
+                                    const std::string& strategy,
+                                    const std::string& formula) {
+    for (const auto& r : report.results) {
+        if (r.item.line == line && r.item.strategy == strategy &&
+            r.item.measure.kind == MeasureKind::Property &&
+            r.item.measure.property == formula) {
+            return &r;
+        }
+    }
+    return nullptr;
+}
+
+void render_properties(const SweepReport& report, const ScenarioGrid& grid,
+                       std::ostream& os) {
+    namespace wp = watertree::properties;
+    os << "=== Property sweep: the paper's measures as CSL/CSRL formulas ===\n\n";
+
+    const std::string availability = wp::availability_formula();
+    Table table({"Strategy", "Line 1", "Line 2", "Formula"});
+    char buf[64];
+    for (const auto& name : grid.strategies) {
+        const auto* a1 = find_property(report, 1, name, availability);
+        const auto* a2 = find_property(report, 2, name, availability);
+        if (a1 == nullptr || a2 == nullptr) {
+            throw InvalidArgument("render: missing availability property cell for " +
+                                  name);
+        }
+        std::vector<std::string> cells{name};
+        std::snprintf(buf, sizeof buf, "%.7f", a1->values.front());
+        cells.emplace_back(buf);
+        std::snprintf(buf, sizeof buf, "%.7f", a2->values.front());
+        cells.emplace_back(buf);
+        cells.push_back(availability);
+        table.add_row(std::move(cells));
+    }
+    table.print(os);
+
+    os << "\n";
+    const std::string survivability = wp::survivability_formula(kX1, 100.0);
+    Figure fig("Survivability as " + survivability + " (Line 2, Disaster 2)",
+               "t in hours", "Probability (S)");
+    bool have_times = false;
+    for (const auto& name : grid.strategies) {
+        const auto* r = find_property(report, 2, name, survivability);
+        if (r == nullptr) {
+            throw InvalidArgument("render: missing survivability property cell for " +
+                                  name);
+        }
+        if (!have_times) {
+            fig.set_times(r->item.measure.times);
+            have_times = true;
+        }
+        fig.add_series(name, r->values);
+    }
+    fig.print(os);
 }
 
 void render_fig3(const SweepReport& report, std::ostream& os) {

@@ -41,6 +41,14 @@ namespace arcade::sweep::paper {
 /// Disaster-2 measures prune themselves off Line 1.
 [[nodiscard]] ScenarioGrid everything();
 
+/// everything()'s measures re-expressed as CSL/CSRL properties
+/// (watertree::properties) — the same lines, strategies, disasters and time
+/// grids, every cell a MeasureKind::Property checked through the engine
+/// path.  Cell for cell, the report's values are bit-identical to
+/// everything()'s under the same ReductionPolicy (pinned by
+/// test_property_sweep).
+[[nodiscard]] ScenarioGrid properties();
+
 /// First result of `report` matching the given cell coordinates, or nullptr.
 /// An empty `variant` matches any variant name; `parameter_index` selects
 /// the grid's parameter set (0 = the baseline, which is the only set in
@@ -51,6 +59,13 @@ namespace arcade::sweep::paper {
                                          double service_level = 1.0,
                                          const std::string& variant = {},
                                          std::size_t parameter_index = 0);
+
+/// First property-measure result of `report` matching the cell coordinates
+/// and the exact formula text, or nullptr (two property cells of one grid
+/// differ only by their formula).
+[[nodiscard]] const ScenarioResult* find_property(const SweepReport& report, int line,
+                                                  const std::string& strategy,
+                                                  const std::string& formula);
 
 /// find(), but a missing cell throws InvalidArgument naming the coordinates
 /// (the renderers' contract: a report of the wrong grid fails loudly).
@@ -78,6 +93,12 @@ void render_fig10(const SweepReport& report, std::ostream& os);
 void render_fig11(const SweepReport& report, std::ostream& os);
 void render_table1(const SweepReport& report, std::ostream& os);
 void render_table2(const SweepReport& report, std::ostream& os);
+
+/// Renders the properties() report: the Table 2 availability column from the
+/// S=? property and the Figure 8 survivability grid from its U<=t property,
+/// each curve/cell labelled by its formula.
+void render_properties(const SweepReport& report, const ScenarioGrid& grid,
+                       std::ostream& os);
 
 }  // namespace arcade::sweep::paper
 

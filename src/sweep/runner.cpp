@@ -11,6 +11,7 @@
 
 #include "arcade/measures.hpp"
 #include "engine/explore.hpp"
+#include "logic/csl_compiled.hpp"
 #include "support/errors.hpp"
 
 namespace arcade::sweep {
@@ -125,9 +126,11 @@ engine::AnalysisSession::CompiledPtr compile_item(engine::AnalysisSession& sessi
                                                   core::ReductionPolicy reduction) {
     const auto& strat = watertree::strategy(item.strategy);
     const auto& params = grid.parameters[item.parameter_index].params;
-    // Reliability is defined on the repair-free model regardless of variant.
+    // Reliability is defined on the repair-free model regardless of variant;
+    // a property can request the same semantics via strip_repair.
     const bool with_repair =
-        item.variant.repair && item.measure.kind != MeasureKind::Reliability;
+        item.variant.repair && item.measure.kind != MeasureKind::Reliability &&
+        !(item.measure.kind == MeasureKind::Property && item.measure.strip_repair);
     return watertree::compile_line(session, item.line, strat, item.variant.encoding,
                                    params, with_repair, reduction);
 }
@@ -177,6 +180,25 @@ ScenarioResult evaluate(engine::AnalysisSession& session, const ScenarioGrid& gr
                 *model, make_disaster(item.measure.disaster, *model), item.measure.times,
                 transient);
             break;
+        case MeasureKind::Property: {
+            const auto formula = logic::parse_csl(item.measure.property);
+            if (item.measure.is_series()) {
+                // Time-parametric query from the cell's disaster state,
+                // swept over the grid by the measure-series kernels.
+                const auto initial = model->disaster_distribution(
+                    make_disaster(item.measure.disaster, *model));
+                result.values = logic::check_series(session, model, *formula,
+                                                    item.measure.times, initial);
+            } else {
+                // As-written evaluation through the session's property
+                // cache; boolean verdicts export as 1.0 / 0.0.
+                const auto checked = session.check_property(model, *formula);
+                result.values = {checked->value.has_value()
+                                     ? *checked->value
+                                     : (checked->holds.value_or(false) ? 1.0 : 0.0)};
+            }
+            break;
+        }
     }
     result.seconds = now_seconds() - t0;
     return result;

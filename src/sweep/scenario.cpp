@@ -3,7 +3,9 @@
 #include <cstdint>
 #include <cstring>
 #include <unordered_set>
+#include <variant>
 
+#include "logic/csl.hpp"
 #include "support/errors.hpp"
 
 namespace arcade::sweep {
@@ -40,6 +42,7 @@ std::string to_string(MeasureKind kind) {
         case MeasureKind::Survivability: return "survivability";
         case MeasureKind::InstantaneousCost: return "instantaneous-cost";
         case MeasureKind::AccumulatedCost: return "accumulated-cost";
+        case MeasureKind::Property: return "property";
     }
     throw InvalidArgument("unknown MeasureKind");
 }
@@ -63,10 +66,14 @@ std::string WorkItem::model_key() const {
     std::string key = "line" + std::to_string(line) + "/" + strategy + "/p" +
                       std::to_string(parameter_index) + "/" +
                       (variant.encoding == core::Encoding::Lumped ? "lumped" : "individual");
-    // Reliability strips the repair units, so it compiles its own model even
-    // when another measure shares the (line, strategy, variant, parameters)
-    // cell; a repair-free variant describes the same model.
-    if (!variant.repair || measure.kind == MeasureKind::Reliability) key += "/norepair";
+    // Reliability strips the repair units (a repair-free property likewise),
+    // so such cells compile their own model even when another measure shares
+    // the (line, strategy, variant, parameters) cell; a repair-free variant
+    // describes the same model.
+    if (!variant.repair || measure.kind == MeasureKind::Reliability ||
+        (measure.kind == MeasureKind::Property && measure.strip_repair)) {
+        key += "/norepair";
+    }
     return key;
 }
 
@@ -76,11 +83,64 @@ std::string WorkItem::key() const {
     if (measure.kind == MeasureKind::Survivability) {
         key += "/x=" + bits_string(measure.service_level);
     }
+    if (measure.kind == MeasureKind::Property) key += "/f=" + measure.property;
     if (measure.is_series()) key += "/t=" + times_key(measure.times);
     return key;
 }
 
 namespace {
+
+/// Eager validation of a property measure: the formula must parse, its
+/// thresholds must be well-formed (logic::validate throws InvalidArgument),
+/// and a time grid demands a time-bounded quantitative top level — all
+/// caught here, not mid-run on a worker thread.
+void validate_property(const MeasureSpec& measure) {
+    if (measure.property.empty()) {
+        throw InvalidArgument("ScenarioGrid: a property measure needs a CSL formula");
+    }
+    logic::StateFormulaPtr formula;
+    try {
+        formula = logic::parse_csl(measure.property);
+    } catch (const ParseError& e) {
+        throw InvalidArgument(std::string("ScenarioGrid: malformed property formula: ") +
+                              e.what());
+    }
+    logic::validate(*formula);
+    if (measure.is_series()) {
+        const logic::StateFormula* top = formula.get();
+        if (const auto* neg = std::get_if<logic::Negation>(&top->node())) {
+            top = neg->operand.get();
+        }
+        const bool time_parametric = [&] {
+            if (const auto* prob = std::get_if<logic::Probabilistic>(&top->node())) {
+                const auto* until = std::get_if<logic::UntilPath>(&prob->path);
+                return prob->bound.comparison == logic::Comparison::Query &&
+                       until != nullptr && until->time_bound.has_value();
+            }
+            if (const auto* reward = std::get_if<logic::Reward>(&top->node())) {
+                return reward->bound.comparison == logic::Comparison::Query &&
+                       !std::holds_alternative<logic::SteadyStateReward>(reward->property);
+            }
+            return false;
+        }();
+        if (!time_parametric) {
+            throw InvalidArgument(
+                "ScenarioGrid: a property with a time grid must be a time-bounded "
+                "quantitative query (P=? [ phi U<=t psi ], R=? [ I=t ], R=? [ C<=t ], "
+                "optionally negated): " +
+                measure.property);
+        }
+    } else if (measure.disaster != DisasterKind::None) {
+        throw InvalidArgument(
+            "ScenarioGrid: a scalar property evaluates the formula as written from the "
+            "model's own initial state; it cannot take a disaster");
+    }
+    if (measure.strip_repair && measure.disaster != DisasterKind::None) {
+        throw InvalidArgument(
+            "ScenarioGrid: a repair-free property starts from the all-up state; it "
+            "cannot take a disaster");
+    }
+}
 
 /// Throws on malformed measures; returns false for cells the cross-product
 /// prunes (a disaster undefined for the line).
@@ -99,6 +159,13 @@ bool validate(int line, const MeasureSpec& measure) {
         measure.disaster != DisasterKind::None) {
         throw InvalidArgument(
             "ScenarioGrid: state-space is a property of the model, not of a disaster");
+    }
+    if (measure.kind == MeasureKind::Property) {
+        validate_property(measure);
+    } else if (!measure.property.empty() || measure.strip_repair) {
+        throw InvalidArgument(
+            "ScenarioGrid: formula text and strip_repair apply to property measures "
+            "only");
     }
     if (measure.is_series()) {
         if (measure.times.empty()) {

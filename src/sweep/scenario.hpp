@@ -20,7 +20,8 @@
 
 namespace arcade::sweep {
 
-/// The measures a scenario can evaluate (the paper's Sections 4–5).
+/// The measures a scenario can evaluate (the paper's Sections 4–5), plus
+/// first-class CSL/CSRL properties as a grid axis.
 enum class MeasureKind {
     Availability,       ///< scalar: S=?["operational"]
     SteadyStateCost,    ///< scalar: long-run expected cost rate
@@ -29,6 +30,14 @@ enum class MeasureKind {
     Survivability,      ///< series: P[service >= level within t | disaster]
     InstantaneousCost,  ///< series: E[cost rate at t | disaster]
     AccumulatedCost,    ///< series: E[cost over [0,t] | disaster]
+    /// A CSL/CSRL formula (MeasureSpec::property), checked through the
+    /// session's property cache.  With an empty time grid the formula is
+    /// evaluated as written (steady-state queries reuse the cached solve);
+    /// with a grid it must be a time-bounded quantitative query whose bound
+    /// sweeps the grid with one shared evolver — the same kernels as the
+    /// dedicated measures, so a re-expressed paper measure reproduces its
+    /// rows bit for bit (see logic/csl_compiled.hpp).
+    Property,
 };
 
 [[nodiscard]] std::string to_string(MeasureKind kind);
@@ -50,8 +59,17 @@ struct MeasureSpec {
     DisasterKind disaster = DisasterKind::None;
     double service_level = 1.0;  ///< survivability recovery target
     std::vector<double> times;   ///< ascending; empty for scalar measures
+    /// CSL/CSRL source text (MeasureKind::Property only); parsed — and its
+    /// thresholds validated — eagerly at expand() time.
+    std::string property;
+    /// Strip the repair units before compiling (MeasureKind::Property only):
+    /// the reliability semantics, which the Reliability kind applies
+    /// implicitly.  Folded into model_key() so such cells compile their own
+    /// repair-free model.
+    bool strip_repair = false;
 
     [[nodiscard]] bool is_series() const noexcept {
+        if (kind == MeasureKind::Property) return !times.empty();
         return kind != MeasureKind::Availability &&
                kind != MeasureKind::SteadyStateCost && kind != MeasureKind::StateSpace;
     }

@@ -1,0 +1,337 @@
+// Quotient-checker identity: CSL/CSRL verdicts and values computed through
+// the reduction-aware engine path must agree with checking the full chain.
+//
+//  * on planted labelled chains, raw-checking the hand-built QuotientCtmc
+//    and lifting agrees with raw-checking the full chain: satisfaction
+//    (verdict) vectors bitwise-identical, quantitative vectors to 1e-9
+//    relative (two different linear-algebra runs cannot be bitwise);
+//  * on both watertree encodings, the engine path under ReductionPolicy::
+//    Auto agrees with ::Off the same way, for nested P/S/R formulas;
+//  * the engine path under Auto IS the lifted quotient check, bit for bit
+//    (same computation — this is the bitwise guarantee of the lift);
+//  * formulas containing Next fall back to the full chain under Auto, so
+//    Auto and Off are bitwise-identical there;
+//  * the session memoises results keyed by (model fingerprint, formula
+//    fingerprint): repeated checks return the same shared result.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "arcade/compiler.hpp"
+#include "ctmc/quotient.hpp"
+#include "engine/session.hpp"
+#include "logic/csl.hpp"
+#include "logic/csl_compiled.hpp"
+#include "support/errors.hpp"
+#include "watertree/properties.hpp"
+#include "watertree/watertree.hpp"
+
+namespace core = arcade::core;
+namespace ctmc = arcade::ctmc;
+namespace engine = arcade::engine;
+namespace logic = arcade::logic;
+namespace wt = arcade::watertree;
+
+namespace {
+
+/// A lumpable labelled chain: `blocks` macro-states expanded into `copies`
+/// bitwise-exchangeable states (identical per-block rate multisets), with
+/// intra-block noise ordinary lumpability must ignore, block-constant labels
+/// "a"/"b" and a block-constant "cost" reward.
+struct Planted {
+    ctmc::Ctmc chain;
+    std::vector<double> cost;
+    std::vector<std::size_t> block_of;
+    ctmc::LumpSignature signature;
+    logic::CheckerOptions options;
+};
+
+Planted make_planted(std::size_t blocks, std::size_t copies, unsigned seed) {
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> rate(0.2, 2.0);
+    std::uniform_int_distribution<std::size_t> pick(0, copies - 1);
+    const std::size_t n = blocks * copies;
+    arcade::linalg::CsrBuilder builder(n, n);
+    const auto state = [copies](std::size_t block, std::size_t copy) {
+        return block * copies + copy;
+    };
+    for (std::size_t b = 0; b < blocks; ++b) {
+        for (std::size_t c = 0; c < blocks; ++c) {
+            if (b == c) continue;
+            const double r = rate(rng);
+            for (std::size_t i = 0; i < copies; ++i) {
+                builder.add(state(b, i), state(c, pick(rng)), r);
+            }
+        }
+        for (std::size_t i = 0; i + 1 < copies; ++i) {
+            builder.add(state(b, i), state(b, i + 1), rate(rng));
+        }
+    }
+    std::vector<double> initial(n, 0.0);
+    initial[0] = 1.0;
+    Planted out{ctmc::Ctmc(builder.build(), std::move(initial)), {}, {}, {}, {}};
+    out.block_of.resize(n);
+    out.cost.resize(n);
+    std::vector<bool> a(n);
+    std::vector<bool> b_label(n);
+    std::vector<double> block_row(n);
+    for (std::size_t s = 0; s < n; ++s) {
+        const std::size_t b = s / copies;
+        out.block_of[s] = b;
+        out.cost[s] = static_cast<double>(b % 3);
+        a[s] = b % 2 == 0;
+        b_label[s] = b + 1 == blocks;
+        block_row[s] = static_cast<double>(b);
+    }
+    out.chain.set_label("a", std::move(a));
+    out.chain.set_label("b", std::move(b_label));
+    out.signature.labels = {"a", "b"};
+    out.signature.values = {out.cost, block_row};
+    out.options.reward_structures.emplace(
+        "cost", arcade::rewards::RewardStructure("cost", out.cost));
+    return out;
+}
+
+/// Raw-checks `formula` on the quotient chain (projected rewards) and lifts
+/// the per-state vectors back — the by-hand version of the engine path.
+logic::CheckResult check_lifted(const Planted& planted, const ctmc::QuotientCtmc& q,
+                                const std::string& formula) {
+    logic::CheckerOptions options;
+    options.reward_structures.emplace(
+        "cost",
+        arcade::rewards::RewardStructure("cost", q.project_values(planted.cost)));
+    logic::CheckResult result = logic::check(q.chain(), formula, options);
+    if (!result.values.empty()) result.values = q.lift_values(result.values);
+    if (!result.satisfaction.empty()) {
+        std::vector<bool> sat(result.satisfaction);
+        result.satisfaction = q.lift_mask(sat);
+    }
+    return result;
+}
+
+void expect_near_rel(const std::vector<double>& a, const std::vector<double>& b,
+                     double tolerance, const std::string& what) {
+    ASSERT_EQ(a.size(), b.size()) << what;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double scale = std::max({1.0, std::abs(a[i]), std::abs(b[i])});
+        EXPECT_NEAR(a[i], b[i], tolerance * scale) << what << " at " << i;
+    }
+}
+
+/// Nested P/S/R formulas over the planted chain's vocabulary.  Thresholds
+/// sit far from the computed probabilities, so Off/Auto verdicts cannot
+/// flip on solver noise.
+const char* const kPlantedFormulas[] = {
+    "P=? [ \"a\" U<=2 \"b\" ]",
+    "P>=0.9999 [ true U<=0.001 \"b\" ]",
+    "P=? [ true U \"b\" ]",
+    "P=? [ true U<=3 (\"b\" & P>=0.0001 [ true U<=1 \"a\" ]) ]",
+    "S=? [ \"a\" ]",
+    "S>=0.999999 [ P<=0.999999 [ true U<=2 \"b\" ] | \"b\" ]",
+    "R{\"cost\"}=? [ C<=2 ]",
+    "R{\"cost\"}=? [ I=1.5 ]",
+    "R{\"cost\"}=? [ S ]",
+    "P=? [ G<=2 !\"b\" ]",
+};
+
+}  // namespace
+
+TEST(CslQuotient, LiftedQuotientCheckAgreesWithFullChainOnPlantedChains) {
+    for (const unsigned seed : {5u, 17u}) {
+        const auto planted = make_planted(6, 3, seed);
+        const ctmc::QuotientCtmc q(planted.chain, planted.signature);
+        ASSERT_EQ(q.block_count(), 6u);
+        for (const char* formula : kPlantedFormulas) {
+            const auto full = logic::check(planted.chain, formula, planted.options);
+            const auto lifted = check_lifted(planted, q, formula);
+            const std::string what = std::string(formula) + " seed " + std::to_string(seed);
+            // Verdicts are bitwise: boolean vectors either agree exactly or
+            // the quotient is wrong.
+            EXPECT_EQ(full.satisfaction, lifted.satisfaction) << what;
+            ASSERT_EQ(full.holds.has_value(), lifted.holds.has_value()) << what;
+            if (full.holds) EXPECT_EQ(*full.holds, *lifted.holds) << what;
+            // Values are two different linear-algebra runs (6 blocks vs 18
+            // states): equal to tight tolerance, never bitwise.
+            expect_near_rel(full.values, lifted.values, 1e-9, what);
+            ASSERT_EQ(full.value.has_value(), lifted.value.has_value()) << what;
+            if (full.value) EXPECT_NEAR(*full.value, *lifted.value, 1e-9) << what;
+        }
+    }
+}
+
+TEST(CslQuotient, EnginePathUnderAutoIsTheLiftedQuotientCheckBitwise) {
+    // The engine path under ReductionPolicy::Auto must BE the lifted
+    // quotient evaluation — same kernels, same lift — so comparing the two
+    // is bitwise, not approximate.  (S / R[S] queries route through the
+    // session's cached steady-state solve instead and are covered below.)
+    engine::AnalysisSession session;
+    core::CompileOptions options;
+    options.encoding = core::Encoding::Individual;
+    options.reduction = core::ReductionPolicy::Auto;
+    const auto model = session.compile(wt::line2(wt::strategy("FRF-1")), options);
+    const auto q = session.quotient(model);
+    ASSERT_LT(q->block_count(), model->state_count());
+
+    for (const std::string formula :
+         {std::string("P=? [ true U<=10 \"down\" ]"),
+          std::string("P>=0.5 [ true U<=100 \"operational\" ]"),
+          wt::properties::survivability_formula(2.0 / 3.0, 50.0)}) {
+        logic::CheckerOptions checker;
+        checker.reward_structures.emplace(
+            "cost", arcade::rewards::RewardStructure(
+                        "cost", q->project_values(model->cost_reward().state_rates())));
+        logic::CheckResult by_hand = logic::check(q->chain(), formula, checker);
+        const auto engine_result = logic::check(session, model, formula);
+        if (!by_hand.values.empty()) {
+            EXPECT_EQ(engine_result.values, q->lift_values(by_hand.values)) << formula;
+        }
+        if (!by_hand.satisfaction.empty()) {
+            EXPECT_EQ(engine_result.satisfaction, q->lift_mask(by_hand.satisfaction))
+                << formula;
+        }
+    }
+}
+
+TEST(CslQuotient, AutoAgreesWithOffOnBothWatertreeEncodings) {
+    for (const core::Encoding encoding :
+         {core::Encoding::Individual, core::Encoding::Lumped}) {
+        engine::AnalysisSession session_off;
+        engine::AnalysisSession session_auto;
+        core::CompileOptions off;
+        off.encoding = encoding;
+        off.reduction = core::ReductionPolicy::Off;
+        core::CompileOptions automatic = off;
+        automatic.reduction = core::ReductionPolicy::Auto;
+        const auto model_off = session_off.compile(wt::line2(wt::strategy("FFF-1")), off);
+        const auto model_auto =
+            session_auto.compile(wt::line2(wt::strategy("FFF-1")), automatic);
+
+        const std::string x2 = wt::properties::survivability_formula(2.0 / 3.0, 25.0);
+        for (const std::string formula :
+             {std::string("P=? [ true U<=10 \"down\" ]"),
+              std::string("S=? [ \"operational\" ]"),
+              std::string("R{\"cost\"}=? [ S ]"),
+              std::string("P=? [ !\"total_failure\" U<=50 \"operational\" ]"),
+              std::string("S>=0.000001 [ P>=0.5 [ true U<=1 \"operational\" ] ]"), x2}) {
+            const auto a = logic::check(session_off, model_off, formula);
+            const auto b = logic::check(session_auto, model_auto, formula);
+            const std::string what =
+                formula + (encoding == core::Encoding::Individual ? " individual"
+                                                                  : " lumped");
+            EXPECT_EQ(a.satisfaction, b.satisfaction) << what;
+            if (a.holds) EXPECT_EQ(*a.holds, *b.holds) << what;
+            expect_near_rel(a.values, b.values, 1e-8, what);
+            if (a.value) EXPECT_NEAR(*a.value, *b.value, 1e-8) << what;
+        }
+    }
+}
+
+TEST(CslQuotient, NextFallsBackToTheFullChainBitwise) {
+    // X is not invariant under ordinary lumping (jump probabilities read
+    // intra-block rates), so the engine path evaluates Next-containing
+    // formulas on the full chain — Auto and Off become the same computation.
+    engine::AnalysisSession session_off;
+    engine::AnalysisSession session_auto;
+    core::CompileOptions off;
+    off.encoding = core::Encoding::Lumped;
+    off.reduction = core::ReductionPolicy::Off;
+    core::CompileOptions automatic = off;
+    automatic.reduction = core::ReductionPolicy::Auto;
+    const auto model_off = session_off.compile(wt::line2(wt::strategy("DED")), off);
+    const auto model_auto = session_auto.compile(wt::line2(wt::strategy("DED")), automatic);
+
+    const std::string formula = "P=? [ X \"down\" ]";
+    const auto a = logic::check(session_off, model_off, formula);
+    const auto b = logic::check(session_auto, model_auto, formula);
+    EXPECT_EQ(a.values, b.values);  // bitwise: both ran the full chain
+    ASSERT_TRUE(a.value && b.value);
+    EXPECT_EQ(*a.value, *b.value);
+}
+
+TEST(CslQuotient, SteadyStatePropertiesReuseTheSessionSolveByteIdentically) {
+    // S=?["operational"] must BE the availability measure and R{"cost"}=?[S]
+    // the long-run cost — same cached distribution, same summation order.
+    engine::AnalysisSession session;
+    core::CompileOptions options;
+    options.reduction = core::ReductionPolicy::Auto;
+    const auto model = session.compile(wt::line2(wt::strategy("FRF-2")), options);
+
+    const auto availability = logic::check(session, model, "S=? [ \"operational\" ]");
+    ASSERT_TRUE(availability.value.has_value());
+    EXPECT_EQ(*availability.value, session.availability(model));
+
+    const auto cost = logic::check(session, model, "R{\"cost\"}=? [ S ]");
+    ASSERT_TRUE(cost.value.has_value());
+    EXPECT_EQ(*cost.value, session.steady_state_cost(model));
+
+    // One steady-state solve served all four consumers.
+    EXPECT_EQ(session.stats().steady_state_misses, 1u);
+}
+
+TEST(CslQuotient, SessionMemoisesPropertyResults) {
+    engine::AnalysisSession session;
+    core::CompileOptions options;
+    options.reduction = core::ReductionPolicy::Auto;
+    const auto model = session.compile(wt::line2(wt::strategy("DED")), options);
+
+    const auto formula = logic::parse_csl("P=? [ true U<=10 \"down\" ]");
+    const auto first = session.check_property(model, *formula);
+    const auto second = session.check_property(model, *formula);
+    EXPECT_EQ(first.get(), second.get());  // the memoised shared result
+    // An equal formula parsed from different text hits the same entry.
+    const auto third = session.check_property(model, "P=? [ true U<=10 \"down\" ]");
+    EXPECT_EQ(first.get(), third.get());
+    // A different formula (or epsilon) misses.
+    (void)session.check_property(model, "P=? [ true U<=20 \"down\" ]");
+    (void)session.check_property(model, *formula, /*epsilon=*/1e-10);
+    const auto stats = session.stats();
+    EXPECT_EQ(stats.property_hits, 2u);
+    EXPECT_EQ(stats.property_misses, 3u);
+
+    session.clear();
+    EXPECT_EQ(session.stats().property_misses, 0u);
+}
+
+TEST(CslQuotient, UnreferencedNonLumpableRewardStructuresDoNotAbortChecks) {
+    // Caller-supplied reward structures project lazily at use site: a
+    // structure that is NOT block-constant w.r.t. the model's lump
+    // signature must not abort a check that never reads it — and must
+    // throw InvalidArgument only when actually referenced on the quotient.
+    engine::AnalysisSession session;
+    core::CompileOptions options;
+    options.reduction = core::ReductionPolicy::Auto;
+    const auto model = session.compile(wt::line2(wt::strategy("DED")), options);
+    ASSERT_LT(session.quotient(model)->block_count(), model->state_count());
+
+    logic::CheckerOptions checker;
+    std::vector<double> per_state(model->state_count());
+    for (std::size_t s = 0; s < per_state.size(); ++s) {
+        per_state[s] = static_cast<double>(s);  // splits every block
+    }
+    checker.reward_structures.emplace(
+        "perstate", arcade::rewards::RewardStructure("perstate", per_state));
+
+    const auto unrelated =
+        logic::check(session, model, "P=? [ true U<=1 \"down\" ]", checker);
+    EXPECT_TRUE(unrelated.value.has_value());
+
+    EXPECT_THROW(
+        (void)logic::check(session, model, "R{\"perstate\"}=? [ C<=1 ]", checker),
+        arcade::InvalidArgument);
+}
+
+TEST(CslQuotient, CheckSeriesRejectsNonTimeParametricTopLevels) {
+    engine::AnalysisSession session;
+    const auto model = session.compile(wt::line2(wt::strategy("DED")));
+    const std::vector<double> times{0.0, 1.0, 2.0};
+    const std::vector<double> initial = model->chain().initial_distribution();
+    for (const char* formula : {"S=? [ \"operational\" ]", "R{\"cost\"}=? [ S ]",
+                                "P>=0.5 [ true U<=1 \"down\" ]", "\"operational\"",
+                                "P=? [ true U \"down\" ]"}) {
+        EXPECT_THROW((void)logic::check_series(session, model, *logic::parse_csl(formula),
+                                               times, initial),
+                     arcade::InvalidArgument)
+            << formula;
+    }
+}

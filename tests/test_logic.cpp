@@ -1,4 +1,7 @@
-// Unit tests: CSL/CSRL parser and model checker.
+// Unit tests: CSL/CSRL parser and model checker — plus the canonical
+// printer (print -> parse round trips, over every formula in the
+// watertree::properties pack), formula fingerprints, byte-offset parse
+// errors, and the InvalidArgument threshold taxonomy.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -6,6 +9,7 @@
 #include "ctmc/ctmc.hpp"
 #include "logic/csl.hpp"
 #include "support/errors.hpp"
+#include "watertree/properties.hpp"
 
 namespace logic = arcade::logic;
 namespace ctmc = arcade::ctmc;
@@ -56,6 +60,33 @@ TEST(Csl, GloballyIsDualOfFinally) {
     const auto g = logic::check(f.chain, "P=? [ G<=2 \"up\" ]", f.options);
     const auto fd = logic::check(f.chain, "P=? [ F<=2 \"down\" ]", f.options);
     EXPECT_NEAR(*g.value + *fd.value, 1.0, 1e-10);
+}
+
+TEST(Csl, NestedGloballyAppliesDualityAtItsOwnOperator) {
+    const auto f = Fixture::make();
+    // A G nested under another operator must desugar at ITS OWN P node:
+    // P>=p [G<=t f]  ==  P<=1-p [true U<=t !f], with every enclosing bound
+    // untouched (regression: a parser-global flag used to flip the outer
+    // bound instead and leave the nested one inverted).
+    const auto nested =
+        logic::check(f.chain, "S=? [ P>=0.5 [ G<=2 \"up\" ] ]", f.options);
+    const auto nested_dual =
+        logic::check(f.chain, "S=? [ P<=0.5 [ true U<=2 !\"up\" ] ]", f.options);
+    EXPECT_NEAR(*nested.value, *nested_dual.value, 1e-12);
+
+    const auto outer = logic::check(
+        f.chain, "P=? [ true U<=5 P>=0.25 [ G<=2 \"up\" ] ]", f.options);
+    const auto outer_dual = logic::check(
+        f.chain, "P=? [ true U<=5 P<=0.75 [ true U<=2 !\"up\" ] ]", f.options);
+    EXPECT_NEAR(*outer.value, *outer_dual.value, 1e-12);
+
+    // And a conjunction where only one side holds a G.
+    const auto mixed = logic::check(
+        f.chain, "P>=0.9 [ true U<=3 \"up\" ] & P>=0.25 [ G<=2 \"up\" ]", f.options);
+    const auto mixed_dual = logic::check(
+        f.chain, "P>=0.9 [ true U<=3 \"up\" ] & P<=0.75 [ true U<=2 !\"up\" ]",
+        f.options);
+    EXPECT_EQ(mixed.satisfaction, mixed_dual.satisfaction);
 }
 
 TEST(Csl, UnboundedUntil) {
@@ -139,6 +170,94 @@ TEST(Csl, ParseErrors) {
     EXPECT_THROW(logic::parse_csl("P [ F \"x\" ]"), arcade::ParseError);
     EXPECT_THROW(logic::parse_csl("R=? [ X=1 ]"), arcade::ParseError);
     EXPECT_THROW(logic::parse_csl("P=? [ F \"x\" ] trailing"), arcade::ParseError);
+}
+
+TEST(Csl, ParseErrorsReportByteOffsets) {
+    const auto offset_in = [](const std::string& text) -> std::string {
+        try {
+            (void)logic::parse_csl(text);
+        } catch (const arcade::ParseError& e) {
+            const std::string what = e.what();
+            const auto at = what.find("byte offset ");
+            if (at == std::string::npos) return "";
+            return what.substr(at + 12);
+        }
+        return "";
+    };
+    // Offset of the offending token, not of the whole formula.
+    EXPECT_EQ(offset_in("P [ F \"x\" ]"), "2");             // bound expected at '['
+    EXPECT_EQ(offset_in("P=? [ true U ]"), "13");          // rhs label expected at ']'
+    EXPECT_EQ(offset_in("P=? [ F \"x\" ] junk"), "14");    // trailing input at 'junk'
+    EXPECT_EQ(offset_in("S=? [ \"unterminated ]"), "6");   // the opening quote
+    EXPECT_EQ(offset_in("P<=x [ F \"a\" ]"), "3");         // number expected at 'x'
+}
+
+TEST(Csl, MalformedThresholdsThrowInvalidArgument) {
+    const auto f = Fixture::make();
+    // Probability bounds outside [0, 1] are caller mistakes, not model
+    // defects: InvalidArgument, matching the library-wide taxonomy.
+    EXPECT_THROW((void)logic::check(f.chain, "P>=1.5 [ F<=1 \"up\" ]", f.options),
+                 arcade::InvalidArgument);
+    EXPECT_THROW((void)logic::check(f.chain, "S<=-0.25 [ \"up\" ]", f.options),
+                 arcade::InvalidArgument);
+    EXPECT_THROW((void)logic::check(f.chain, "P=? [ true U<=-3 \"down\" ]", f.options),
+                 arcade::InvalidArgument);
+    EXPECT_THROW((void)logic::check(f.chain, "R{\"cost\"}>=-1 [ S ]", f.options),
+                 arcade::InvalidArgument);
+
+    logic::CheckerOptions bad = f.options;
+    bad.epsilon = 0.0;
+    EXPECT_THROW((void)logic::check(f.chain, "\"up\"", bad), arcade::InvalidArgument);
+    bad.epsilon = 2.0;
+    EXPECT_THROW((void)logic::check(f.chain, "\"up\"", bad), arcade::InvalidArgument);
+}
+
+TEST(Csl, PrintParseRoundTripsOnPaperPropertyPack) {
+    // Print -> parse -> print must be the identity for every formula the
+    // watertree property pack ships (G re-parses via its Until desugaring).
+    for (const auto& property : arcade::watertree::properties::paper_pack()) {
+        const auto parsed = logic::parse_csl(property.formula);
+        const std::string printed = logic::to_string(*parsed);
+        const auto reparsed = logic::parse_csl(printed);
+        EXPECT_EQ(logic::to_string(*reparsed), printed) << property.name;
+        EXPECT_EQ(logic::fingerprint(*reparsed), logic::fingerprint(*parsed))
+            << property.name;
+    }
+}
+
+TEST(Csl, PrintParseRoundTripsOnNestedFormulas) {
+    for (const char* text : {
+             "P>=0.5 [ (\"up\" | \"down\") U<=2.5 !\"down\" ]",
+             "P=? [ X (\"up\" & P>0.25 [ true U \"down\" ]) ]",
+             "S>=0.75 [ P>=0.5 [ true U<=1 \"up\" ] ]",
+             "R{\"cost\"}<=3 [ I=1.5 ]",
+             "P=? [ G<=2 \"up\" ]",
+         }) {
+        const auto parsed = logic::parse_csl(text);
+        const std::string printed = logic::to_string(*parsed);
+        EXPECT_EQ(logic::to_string(*logic::parse_csl(printed)), printed) << text;
+    }
+}
+
+TEST(Csl, FingerprintSeparatesFormulasAndStreams) {
+    const auto a = logic::parse_csl("P=? [ true U<=2 \"down\" ]");
+    const auto b = logic::parse_csl("P=? [ true U<=3 \"down\" ]");
+    EXPECT_NE(logic::fingerprint(*a), logic::fingerprint(*b));
+    EXPECT_EQ(logic::fingerprint(*a), logic::fingerprint(*logic::parse_csl(
+                                          "P=? [ true U<=2 \"down\" ]")));
+    // Independent hash streams back the double-keyed property cache.
+    EXPECT_NE(logic::fingerprint(*a, 0), logic::fingerprint(*a, 1));
+}
+
+TEST(Csl, ContainsNextScansEveryPosition) {
+    EXPECT_TRUE(logic::contains_next(*logic::parse_csl("P=? [ X \"up\" ]")));
+    EXPECT_TRUE(logic::contains_next(
+        *logic::parse_csl("S=? [ P>=0.5 [ X \"up\" ] ]")));
+    EXPECT_TRUE(logic::contains_next(
+        *logic::parse_csl("P=? [ true U<=1 P>=0.5 [ X \"up\" ] ]")));
+    EXPECT_FALSE(logic::contains_next(
+        *logic::parse_csl("P=? [ true U<=1 (\"up\" & S>=0.5 [ \"down\" ]) ]")));
+    EXPECT_FALSE(logic::contains_next(*logic::parse_csl("R{\"cost\"}=? [ C<=1 ]")));
 }
 
 TEST(Csl, UnknownLabelAndRewardErrors) {

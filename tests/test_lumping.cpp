@@ -131,6 +131,104 @@ TEST(CoarsestLumping, RecoversPlantedBlocksFromACoarserSeedPartition) {
     }
 }
 
+TEST(CoarsestLumping, SplitterQueueMatchesRoundsOnPlantedAndRandomChains) {
+    // Acceptance: the splitter-queue refinement returns the *identical*
+    // partition (same block_of array after first-occurrence renumbering) as
+    // the round-based reference, on every test chain.
+    const auto identical = [](const ctmc::Ctmc& chain,
+                              const std::vector<std::size_t>& initial,
+                              const std::string& what) {
+        graph::LumpingStats splitter_stats;
+        graph::LumpingStats rounds_stats;
+        const auto splitter =
+            graph::coarsest_lumping(chain.rates(), initial,
+                                    graph::LumpingAlgorithm::SplitterQueue,
+                                    &splitter_stats);
+        const auto rounds = graph::coarsest_lumping(
+            chain.rates(), initial, graph::LumpingAlgorithm::Rounds, &rounds_stats);
+        EXPECT_EQ(splitter.count, rounds.count) << what;
+        EXPECT_EQ(splitter.block_of, rounds.block_of) << what;
+        EXPECT_EQ(splitter_stats.blocks, rounds_stats.blocks) << what;
+    };
+
+    for (const unsigned seed : {3u, 7u, 11u, 23u}) {
+        const auto planted = make_planted(5, 4, seed);
+        // Signature partition (the planted blocks), a coarser seed (parity),
+        // and the trivial partition.
+        identical(planted.chain, planted.block_of, "planted seed " + std::to_string(seed));
+        std::vector<std::size_t> parity(planted.chain.state_count());
+        for (std::size_t s = 0; s < parity.size(); ++s) parity[s] = planted.block_of[s] % 2;
+        identical(planted.chain, parity, "parity seed " + std::to_string(seed));
+        identical(planted.chain,
+                  std::vector<std::size_t>(planted.chain.state_count(), 0),
+                  "trivial seed " + std::to_string(seed));
+    }
+
+    // Fully random chains: every rate distinct, the refinement shatters the
+    // partition — the two algorithms must shatter it identically.
+    std::mt19937 rng(99);
+    std::uniform_real_distribution<double> rate(0.1, 3.0);
+    for (int round = 0; round < 3; ++round) {
+        const std::size_t n = 40;
+        arcade::linalg::CsrBuilder builder(n, n);
+        std::uniform_int_distribution<std::size_t> pick(0, n - 1);
+        for (std::size_t s = 0; s < n; ++s) {
+            for (int k = 0; k < 4; ++k) {
+                const std::size_t t = pick(rng);
+                if (t != s) builder.add(s, t, rate(rng));
+            }
+        }
+        ctmc::Ctmc chain(builder.build(), std::vector<double>(n, 1.0 / n));
+        identical(chain, std::vector<std::size_t>(n, 0), "random " + std::to_string(round));
+    }
+}
+
+TEST(CoarsestLumping, SplitterQueueMatchesRoundsOnWatertreeEncodings) {
+    // The acceptance chains that matter: the paper's compiled models.  The
+    // initial partition is the model's measure signature (labels + service
+    // levels + cost rates), rebuilt here by exact-value grouping.
+    core::CompileOptions lumped;
+    lumped.encoding = core::Encoding::Lumped;
+    for (const char* name : {"DED", "FRF-1", "FFF-2"}) {
+        for (const bool individual : {true, false}) {
+            const auto model = individual
+                                   ? core::compile(wt::line2(wt::strategy(name)))
+                                   : core::compile(wt::line2(wt::strategy(name)), lumped);
+            // Group states by their full signature rows.
+            std::map<std::vector<std::uint64_t>, std::size_t> ids;
+            std::vector<std::size_t> initial(model.state_count());
+            const auto signature = model.lump_signature();
+            for (std::size_t s = 0; s < model.state_count(); ++s) {
+                std::vector<std::uint64_t> key;
+                for (const auto& label : signature.labels) {
+                    key.push_back(model.chain().label(label)[s] ? 1 : 0);
+                }
+                for (const auto& row : signature.values) {
+                    key.push_back(graph::double_bits(row[s]));
+                }
+                initial[s] = ids.emplace(std::move(key), ids.size()).first->second;
+            }
+            graph::LumpingStats splitter_stats;
+            graph::LumpingStats rounds_stats;
+            const auto splitter = graph::coarsest_lumping(
+                model.chain().rates(), initial,
+                graph::LumpingAlgorithm::SplitterQueue, &splitter_stats);
+            const auto rounds =
+                graph::coarsest_lumping(model.chain().rates(), initial,
+                                        graph::LumpingAlgorithm::Rounds, &rounds_stats);
+            EXPECT_EQ(splitter.block_of, rounds.block_of)
+                << name << (individual ? " individual" : " lumped");
+            // The point of the rewrite: the splitter queue scans a fraction
+            // of the edges the round-based sweeps do on the individual
+            // encoding (deterministic, so this is a hard invariant).
+            if (individual) {
+                EXPECT_LT(splitter_stats.edges_scanned, rounds_stats.edges_scanned)
+                    << name;
+            }
+        }
+    }
+}
+
 TEST(CoarsestLumping, InitialPartitionIsNeverCoarsened) {
     // Two bitwise-identical halves forced apart by the initial partition.
     arcade::linalg::CsrBuilder builder(4, 4);
