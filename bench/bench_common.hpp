@@ -57,6 +57,45 @@ inline void print_session_stats(std::ostream& os) {
        << stats.steady_state_hits << " reuses\n";
 }
 
+// ---------------------------------------------------------------------------
+// Benchmark provenance.  Perf numbers from non-optimised builds are noise
+// at best and misleading at worst, so every harness (a) warns loudly when
+// the binary was not built Release, and (b) stamps the build type into each
+// appended row — the trajectory file is append-only across runs, so a row
+// must carry its own provenance.
+// ---------------------------------------------------------------------------
+
+/// CMAKE_BUILD_TYPE baked in at compile time (empty when unset).
+inline const char* build_type() {
+#ifdef ARCADE_BUILD_TYPE
+    return ARCADE_BUILD_TYPE[0] == '\0' ? "unspecified" : ARCADE_BUILD_TYPE;
+#else
+    return "unknown";
+#endif
+}
+
+inline bool release_build() {
+    const std::string t = build_type();
+    return t == "Release" || t == "RelWithDebInfo" || t == "MinSizeRel";
+}
+
+/// Prints a hard-to-miss banner when the binary is not an optimised build.
+inline void warn_if_not_release() {
+    if (release_build()) return;
+    std::cerr << "\n"
+              << "*** WARNING: benchmark binary built as '" << build_type() << "'.\n"
+              << "*** Timings are NOT representative; configure with\n"
+              << "***   cmake -DCMAKE_BUILD_TYPE=Release\n"
+              << "*** before trusting (or committing) these numbers.\n\n";
+}
+
+/// Stamps provenance into one google-benchmark row (templated so this header
+/// does not depend on benchmark.h): release_build=1 marks a trustworthy row.
+template <typename State>
+void stamp_build_type(State& state) {
+    state.counters["release_build"] = release_build() ? 1.0 : 0.0;
+}
+
 class Stopwatch {
 public:
     Stopwatch() : start_(std::chrono::steady_clock::now()) {}

@@ -16,6 +16,7 @@
 
 #include "arcade/compiler.hpp"
 #include "arcade/measures.hpp"
+#include "bench_common.hpp"
 #include "ctmc/bounded_until.hpp"
 #include "ctmc/quotient.hpp"
 #include "ctmc/steady_state.hpp"
@@ -54,6 +55,7 @@ void report_construction(benchmark::State& state, const core::CompiledModel& mod
 }
 
 void BM_StateSpaceLine2Individual(benchmark::State& state) {
+    bench::stamp_build_type(state);
     const auto model = wt::line2(wt::strategy("FRF-1"));
     core::CompileOptions options;
     options.threads = static_cast<unsigned>(state.range(0));
@@ -70,6 +72,7 @@ BENCHMARK(BM_StateSpaceLine2Individual)
     ->Unit(benchmark::kMillisecond);
 
 void BM_StateSpaceLine1Individual(benchmark::State& state) {
+    bench::stamp_build_type(state);
     const auto model = wt::line1(wt::strategy("FRF-1"));
     core::CompileOptions options;
     options.threads = static_cast<unsigned>(state.range(0));
@@ -86,6 +89,7 @@ BENCHMARK(BM_StateSpaceLine1Individual)
     ->Unit(benchmark::kMillisecond);
 
 void BM_StateSpaceLine1Lumped(benchmark::State& state) {
+    bench::stamp_build_type(state);
     const auto model = wt::line1(wt::strategy("FRF-1"));
     core::CompileOptions options;
     options.encoding = core::Encoding::Lumped;
@@ -99,6 +103,7 @@ BENCHMARK(BM_StateSpaceLine1Lumped)->Unit(benchmark::kMillisecond);
 
 /// Cold session: every iteration compiles for real (cache miss).
 void BM_SessionCompileCold(benchmark::State& state) {
+    bench::stamp_build_type(state);
     const auto model = wt::line2(wt::strategy("FRF-1"));
     for (auto _ : state) {
         engine::AnalysisSession session;
@@ -111,6 +116,7 @@ BENCHMARK(BM_SessionCompileCold)->Unit(benchmark::kMillisecond);
 /// Warm session: iterations after the first return the cached instance —
 /// this is the repeated-scenario path the figure benches take.
 void BM_SessionCompileCached(benchmark::State& state) {
+    bench::stamp_build_type(state);
     engine::AnalysisSession session;
     const auto model = wt::line2(wt::strategy("FRF-1"));
     benchmark::DoNotOptimize(session.compile(model)->state_count());
@@ -128,6 +134,7 @@ BENCHMARK(BM_SessionCompileCached);
 /// Partition refinement itself: the cost of auto-lumping the paper's
 /// individual encoding, with the achieved reduction as counters.
 void BM_StateSpaceQuotientLine2Individual(benchmark::State& state) {
+    bench::stamp_build_type(state);
     const auto& model = line2_frf1();
     const auto signature = model.lump_signature();
     std::size_t blocks = 0;
@@ -146,6 +153,7 @@ BENCHMARK(BM_StateSpaceQuotientLine2Individual)->Unit(benchmark::kMillisecond);
 /// Session-cached quotient: the repeated-scenario path under
 /// ReductionPolicy::Auto — every request after the first is a lump hit.
 void BM_SessionQuotientCached(benchmark::State& state) {
+    bench::stamp_build_type(state);
     engine::AnalysisSession session;
     core::CompileOptions options;
     options.reduction = core::ReductionPolicy::Auto;
@@ -165,6 +173,7 @@ BENCHMARK(BM_SessionQuotientCached);
 
 /// Cached steady-state: availability + long-run cost off one solve.
 void BM_SessionSteadyStateCached(benchmark::State& state) {
+    bench::stamp_build_type(state);
     engine::AnalysisSession session;
     core::CompileOptions lumped;
     lumped.encoding = core::Encoding::Lumped;
@@ -207,6 +216,7 @@ void torus_successors(std::span<const std::int64_t> s, std::vector<std::int64_t>
 }
 
 void BM_ExploreTorusPackedStore(benchmark::State& state) {
+    bench::stamp_build_type(state);
     const engine::StateLayout layout(
         std::vector<engine::FieldSpec>(kTorusDims, {0, kTorusSide - 1}));
     const std::vector<std::int64_t> initial(kTorusDims, 0);
@@ -233,6 +243,7 @@ BENCHMARK(BM_ExploreTorusPackedStore)->Unit(benchmark::kMillisecond);
 /// The seed's storage scheme: std::unordered_map over heap-allocated
 /// std::vector valuations (FNV-1a), vector-of-vectors state list.
 void BM_ExploreTorusVectorMap(benchmark::State& state) {
+    bench::stamp_build_type(state);
     struct VecHash {
         std::size_t operator()(const std::vector<std::int64_t>& s) const noexcept {
             std::size_t h = 1469598103934665603ull;
@@ -274,6 +285,7 @@ void BM_ExploreTorusVectorMap(benchmark::State& state) {
 BENCHMARK(BM_ExploreTorusVectorMap)->Unit(benchmark::kMillisecond);
 
 void BM_FoxGlynn(benchmark::State& state) {
+    bench::stamp_build_type(state);
     const double q = static_cast<double>(state.range(0));
     for (auto _ : state) {
         benchmark::DoNotOptimize(arcade::numeric::fox_glynn(q, 1e-12).weights.size());
@@ -282,6 +294,7 @@ void BM_FoxGlynn(benchmark::State& state) {
 BENCHMARK(BM_FoxGlynn)->Arg(10)->Arg(100)->Arg(1000);
 
 void BM_SparseMatvec(benchmark::State& state) {
+    bench::stamp_build_type(state);
     const auto& model = line2_frf1();
     std::vector<double> x(model.state_count(), 1.0 / model.state_count());
     std::vector<double> y(model.state_count(), 0.0);
@@ -293,6 +306,7 @@ void BM_SparseMatvec(benchmark::State& state) {
 BENCHMARK(BM_SparseMatvec);
 
 void BM_TransientLine2(benchmark::State& state) {
+    bench::stamp_build_type(state);
     const auto& model = line2_frf1();
     const auto init = model.chain().initial_distribution();
     for (auto _ : state) {
@@ -304,6 +318,7 @@ BENCHMARK(BM_TransientLine2)->Unit(benchmark::kMillisecond);
 
 /// Same transient solve, but scratch vectors come from a workspace pool.
 void BM_TransientLine2Pooled(benchmark::State& state) {
+    bench::stamp_build_type(state);
     const auto& model = line2_frf1();
     const auto init = model.chain().initial_distribution();
     engine::WorkspacePool pool;
@@ -319,6 +334,7 @@ void BM_TransientLine2Pooled(benchmark::State& state) {
 BENCHMARK(BM_TransientLine2Pooled)->Unit(benchmark::kMillisecond);
 
 void BM_SteadyStateLine2(benchmark::State& state) {
+    bench::stamp_build_type(state);
     const auto& model = line2_frf1();
     for (auto _ : state) {
         benchmark::DoNotOptimize(
@@ -328,6 +344,7 @@ void BM_SteadyStateLine2(benchmark::State& state) {
 BENCHMARK(BM_SteadyStateLine2)->Unit(benchmark::kMillisecond);
 
 void BM_SurvivabilityCurveLumped(benchmark::State& state) {
+    bench::stamp_build_type(state);
     const auto& model = line2_frf1_lumped();
     const auto disaster = wt::disaster2();
     const std::vector<double> times{0.0, 25.0, 50.0, 75.0, 100.0};
@@ -343,6 +360,7 @@ BENCHMARK(BM_SurvivabilityCurveLumped)->Unit(benchmark::kMillisecond);
 // Custom main: default --benchmark_out=BENCH_engine.json so every run
 // contributes a machine-readable point to the perf trajectory.
 int main(int argc, char** argv) {
+    bench::warn_if_not_release();
     bool has_out = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0 ||

@@ -1,0 +1,222 @@
+// Evaluation-pipeline micro-benchmarks: the expr bytecode VM vs the tree
+// interpreter on full state-space exploration (every paper strategy's line-2
+// reactive-modules translation, single-threaded so the numbers isolate
+// per-state evaluation cost), and the blocked CSR kernels vs the scalar
+// reference on the matvec shapes the numeric core runs (distribution
+// propagation, backward gather, uniformised step).  Both comparisons are
+// between bitwise-identical computations — the speedup is pure evaluation
+// mechanics, never a numerics change (asserted by test_eval_rewire).
+//
+// Results are APPENDED into BENCH_engine.json via the same temp-JSON splice
+// the lumping harness uses, so the interp-vs-VM and scalar-vs-blocked rows
+// ride the perf trajectory file.  --benchmark_out overrides as usual.
+#include <benchmark/benchmark.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arcade/modules_compiler.hpp"
+#include "bench_common.hpp"
+#include "expr/vm.hpp"
+#include "linalg/kernels.hpp"
+#include "modules/explorer.hpp"
+#include "watertree/watertree.hpp"
+
+namespace core = arcade::core;
+namespace expr = arcade::expr;
+namespace linalg = arcade::linalg;
+namespace modules = arcade::modules;
+namespace wt = arcade::watertree;
+
+namespace {
+
+const modules::ModuleSystem& line2_system(const std::string& strategy) {
+    static std::map<std::string, modules::ModuleSystem> cache;
+    const auto it = cache.find(strategy);
+    if (it != cache.end()) return it->second;
+    return cache
+        .emplace(strategy, core::to_reactive_modules(wt::line2(wt::strategy(strategy))))
+        .first->second;
+}
+
+void run_explore(benchmark::State& state, const char* strategy, expr::EvalMode eval) {
+    bench::stamp_build_type(state);
+    const auto& system = line2_system(strategy);
+    modules::ExploreOptions options;
+    options.eval = eval;
+    options.threads = 1;  // isolate per-state evaluation cost from sharding
+    std::size_t states = 0;
+    for (auto _ : state) {
+        states = modules::explore(system, options).state_count();
+        benchmark::DoNotOptimize(states);
+    }
+    state.counters["states"] = static_cast<double>(states);
+    state.counters["states/s"] = benchmark::Counter(
+        static_cast<double>(states), benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_ExploreInterp(benchmark::State& state, const char* strategy) {
+    run_explore(state, strategy, expr::EvalMode::Interp);
+}
+void BM_ExploreVm(benchmark::State& state, const char* strategy) {
+    run_explore(state, strategy, expr::EvalMode::Vm);
+}
+
+BENCHMARK_CAPTURE(BM_ExploreInterp, l2_DED, "DED")->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ExploreVm, l2_DED, "DED")->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ExploreInterp, l2_FRF1, "FRF-1")->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ExploreVm, l2_FRF1, "FRF-1")->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ExploreInterp, l2_FRF2, "FRF-2")->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ExploreVm, l2_FRF2, "FRF-2")->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ExploreInterp, l2_FFF1, "FFF-1")->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ExploreVm, l2_FFF1, "FFF-1")->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ExploreInterp, l2_FFF2, "FFF-2")->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ExploreVm, l2_FFF2, "FFF-2")->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Kernel comparison on the explored FRF-1 line-2 chain (8129 states).
+// ---------------------------------------------------------------------------
+
+const linalg::CsrMatrix& frf1_rates() {
+    static const linalg::CsrMatrix rates = [] {
+        return modules::explore(line2_system("FRF-1")).chain.rates();
+    }();
+    return rates;
+}
+
+template <typename Fn>
+void run_kernel(benchmark::State& state, linalg::KernelMode mode, Fn&& fn) {
+    bench::stamp_build_type(state);
+    const linalg::KernelMode before = linalg::kernel_mode();
+    linalg::set_kernel_mode(mode);
+    const auto& rates = frf1_rates();
+    std::vector<double> x(rates.rows(), 1.0 / static_cast<double>(rates.rows()));
+    std::vector<double> y(rates.rows(), 0.0);
+    for (auto _ : state) {
+        fn(rates, x, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+    linalg::set_kernel_mode(before);
+    state.counters["nonzeros"] = static_cast<double>(rates.nonzeros());
+    state.counters["nnz/s"] = benchmark::Counter(static_cast<double>(rates.nonzeros()),
+                                                 benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_MatvecLeft(benchmark::State& state, linalg::KernelMode mode) {
+    run_kernel(state, mode, [](const auto& m, const auto& x, auto& y) {
+        linalg::multiply_left(m, x, y);
+    });
+}
+void BM_MatvecRight(benchmark::State& state, linalg::KernelMode mode) {
+    run_kernel(state, mode, [](const auto& m, const auto& x, auto& y) {
+        linalg::multiply_right(m, x, y);
+    });
+}
+void BM_UniformisedLeft(benchmark::State& state, linalg::KernelMode mode) {
+    run_kernel(state, mode, [](const auto& m, const auto& x, auto& y) {
+        linalg::uniformised_multiply_left(m, 100.0, x, y);
+    });
+}
+void BM_UniformisedRight(benchmark::State& state, linalg::KernelMode mode) {
+    run_kernel(state, mode, [](const auto& m, const auto& x, auto& y) {
+        linalg::uniformised_multiply_right(m, 100.0, x, y);
+    });
+}
+
+BENCHMARK_CAPTURE(BM_MatvecLeft, scalar, linalg::KernelMode::Scalar);
+BENCHMARK_CAPTURE(BM_MatvecLeft, blocked, linalg::KernelMode::Blocked);
+BENCHMARK_CAPTURE(BM_MatvecRight, scalar, linalg::KernelMode::Scalar);
+BENCHMARK_CAPTURE(BM_MatvecRight, blocked, linalg::KernelMode::Blocked);
+BENCHMARK_CAPTURE(BM_UniformisedLeft, scalar, linalg::KernelMode::Scalar);
+BENCHMARK_CAPTURE(BM_UniformisedLeft, blocked, linalg::KernelMode::Blocked);
+BENCHMARK_CAPTURE(BM_UniformisedRight, scalar, linalg::KernelMode::Scalar);
+BENCHMARK_CAPTURE(BM_UniformisedRight, blocked, linalg::KernelMode::Blocked);
+
+/// Splices the "benchmarks" array entries of `addition` into `target`
+/// (google-benchmark JSON documents).  Returns false when either document
+/// does not look like one.
+bool append_benchmarks(const std::string& target_path, const std::string& addition_path) {
+    std::ifstream target_in(target_path);
+    std::ifstream addition_in(addition_path);
+    if (!addition_in) return false;
+    std::stringstream addition_buf;
+    addition_buf << addition_in.rdbuf();
+    const std::string addition = addition_buf.str();
+    if (!target_in) {
+        // No trajectory file yet: the new document becomes it.
+        std::ofstream out(target_path);
+        out << addition;
+        return static_cast<bool>(out);
+    }
+    std::stringstream target_buf;
+    target_buf << target_in.rdbuf();
+    std::string target = target_buf.str();
+    target_in.close();
+
+    const std::string marker = "\"benchmarks\": [";
+    const auto a_begin = addition.find(marker);
+    const auto a_end = addition.rfind(']');
+    const auto t_end = target.rfind(']');
+    if (a_begin == std::string::npos || a_end == std::string::npos ||
+        t_end == std::string::npos || target.find(marker) == std::string::npos) {
+        return false;
+    }
+    const auto trim = [](std::string s) {
+        while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())) != 0) {
+            s.pop_back();
+        }
+        return s;
+    };
+    const std::string entries = trim(addition.substr(a_begin + marker.size(),
+                                                     a_end - a_begin - marker.size()));
+    if (entries.empty()) return true;  // nothing to add
+    std::string prefix = trim(target.substr(0, t_end));
+    if (prefix.empty()) return false;
+    const bool empty_array = prefix.back() == '[';
+    std::ofstream out(target_path);
+    out << prefix << (empty_array ? "\n" : ",\n") << entries << "\n  ]\n}\n";
+    return static_cast<bool>(out);
+}
+
+}  // namespace
+
+// Custom main: unless --benchmark_out is given, results land in a temp JSON
+// whose benchmark entries are appended into BENCH_engine.json, so the eval
+// rows ride the same perf-trajectory file as the engine benchmarks.
+int main(int argc, char** argv) {
+    bench::warn_if_not_release();
+    bool has_out = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0 ||
+            std::strcmp(argv[i], "--benchmark_out") == 0) {
+            has_out = true;
+        }
+    }
+    static char out_flag[] = "--benchmark_out=BENCH_eval.tmp.json";
+    static char fmt_flag[] = "--benchmark_out_format=json";
+    std::vector<char*> args(argv, argv + argc);
+    if (!has_out) {
+        args.push_back(out_flag);
+        args.push_back(fmt_flag);
+    }
+    int args_count = static_cast<int>(args.size());
+    benchmark::Initialize(&args_count, args.data());
+    if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    if (!has_out) {
+        if (append_benchmarks("BENCH_engine.json", "BENCH_eval.tmp.json")) {
+            std::remove("BENCH_eval.tmp.json");
+            std::printf("appended eval rows to BENCH_engine.json\n");
+        } else {
+            std::printf("left results in BENCH_eval.tmp.json (no merge target)\n");
+        }
+    }
+    return 0;
+}

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "arcade/compiler.hpp"
+#include "bench_common.hpp"
 #include "graph/lumping.hpp"
 #include "watertree/watertree.hpp"
 
@@ -61,6 +62,7 @@ std::vector<std::size_t> signature_partition(const core::CompiledModel& model) {
 
 void run_lumping(benchmark::State& state, const char* strategy,
                  graph::LumpingAlgorithm algorithm) {
+    bench::stamp_build_type(state);
     const auto& model = line2(strategy);
     const auto initial = signature_partition(model);
     graph::LumpingStats stats;
@@ -153,6 +155,7 @@ bool append_benchmarks(const std::string& target_path, const std::string& additi
 // whose benchmark entries are appended into BENCH_engine.json, so the
 // lumping rows ride the same perf-trajectory file as the engine benchmarks.
 int main(int argc, char** argv) {
+    bench::warn_if_not_release();
     bool has_out = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0 ||

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "linalg/kernels.hpp"
 #include "numeric/fox_glynn.hpp"
 #include "support/errors.hpp"
 
@@ -80,19 +81,7 @@ std::vector<double> bounded_until_all_states(const Ctmc& chain, const std::vecto
     const auto& rates = transformed.rates();
     // next = P * cur  (column-vector form of the uniformised matrix)
     const auto power_step = [&] {
-        for (std::size_t i = 0; i < n; ++i) {
-            const auto cols = rates.row_columns(i);
-            const auto vals = rates.row_values(i);
-            double moved = 0.0;
-            double sum = 0.0;
-            for (std::size_t j = 0; j < cols.size(); ++j) {
-                if (cols[j] == i) continue;
-                const double p = vals[j] / lambda;
-                sum += p * cur[cols[j]];
-                moved += p;
-            }
-            next[i] = sum + (1.0 - moved) * cur[i];
-        }
+        linalg::uniformised_multiply_right(rates, lambda, cur, next);
         std::swap(cur, next);
     };
 

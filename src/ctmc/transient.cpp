@@ -4,6 +4,7 @@
 #include <cmath>
 #include <string>
 
+#include "linalg/kernels.hpp"
 #include "numeric/fox_glynn.hpp"
 #include "support/errors.hpp"
 
@@ -15,23 +16,7 @@ namespace {
 /// P = I + Q/lambda (Q = R with diagonal -exit_rate).
 void uniformised_step(const Ctmc& chain, double lambda, std::span<const double> in,
                       std::span<double> out) {
-    const auto& rates = chain.rates();
-    const std::size_t n = rates.rows();
-    std::fill(out.begin(), out.end(), 0.0);
-    for (std::size_t i = 0; i < n; ++i) {
-        const double p = in[i];
-        if (p == 0.0) continue;
-        const auto cols = rates.row_columns(i);
-        const auto vals = rates.row_values(i);
-        double moved = 0.0;
-        for (std::size_t k = 0; k < cols.size(); ++k) {
-            if (cols[k] == i) continue;
-            const double q = vals[k] / lambda;
-            out[cols[k]] += p * q;
-            moved += q;
-        }
-        out[i] += p * (1.0 - moved);
-    }
+    linalg::uniformised_multiply_left(chain.rates(), lambda, in, out);
 }
 
 }  // namespace

@@ -41,6 +41,17 @@ const std::variant<Literal, Identifier, Unary, Binary, Ite>& Expr::node() const 
     return node_->v;
 }
 
+namespace {
+
+/// The literal value of `e`, or nullptr when `e` is not a literal node.
+const Value* literal_value(const Expr& e) {
+    if (e.empty()) return nullptr;
+    const auto* lit = std::get_if<Literal>(&e.node());
+    return lit == nullptr ? nullptr : &lit->value;
+}
+
+}  // namespace
+
 Expr Expr::literal(Value v) { return Expr(std::make_shared<Node>(Node{Literal{v}})); }
 Expr Expr::boolean(bool b) { return literal(Value(b)); }
 Expr Expr::integer(long long i) { return literal(Value(i)); }
@@ -49,17 +60,44 @@ Expr Expr::identifier(std::string name) {
     return Expr(std::make_shared<Node>(Node{Identifier{std::move(name)}}));
 }
 Expr Expr::unary(UnaryOp op, Expr operand) {
+    if (const Value* v = literal_value(operand)) {
+        // Ill-typed literals (e.g. !3) keep their node so the error still
+        // surfaces at evaluation time.
+        try {
+            return literal(apply_unary(op, *v));
+        } catch (const ModelError&) {
+        }
+    }
     return Expr(std::make_shared<Node>(Node{Unary{op, std::move(operand)}}));
 }
 Expr Expr::binary(BinaryOp op, Expr lhs, Expr rhs) {
+    const Value* lv = literal_value(lhs);
+    // Short-circuit operators fold on a boolean literal lhs only: the rhs of
+    // `false & g` is provably never evaluated, and `true & g` reduces to g
+    // itself.  A literal rhs must NOT fold (`g & false` still evaluates g
+    // first and must keep raising g's errors).
+    if (lv != nullptr && lv->is_bool()) {
+        if (op == BinaryOp::And) return lv->as_bool() ? rhs : boolean(false);
+        if (op == BinaryOp::Or) return lv->as_bool() ? boolean(true) : rhs;
+    }
+    if (lv != nullptr && op != BinaryOp::And && op != BinaryOp::Or) {
+        if (const Value* rv = literal_value(rhs)) {
+            try {
+                return literal(apply_binary(op, *lv, *rv));
+            } catch (const ModelError&) {
+                // e.g. 1/0 or 1 < true: keep the node, error stays at eval.
+            }
+        }
+    }
     return Expr(std::make_shared<Node>(Node{Binary{op, std::move(lhs), std::move(rhs)}}));
 }
 Expr Expr::ite(Expr cond, Expr then_branch, Expr else_branch) {
+    if (const Value* cv = literal_value(cond)) {
+        if (cv->is_bool()) return cv->as_bool() ? then_branch : else_branch;
+    }
     return Expr(std::make_shared<Node>(
         Node{Ite{std::move(cond), std::move(then_branch), std::move(else_branch)}}));
 }
-
-namespace {
 
 Value apply_binary(BinaryOp op, const Value& a, const Value& b) {
     switch (op) {
@@ -125,6 +163,8 @@ Value apply_unary(UnaryOp op, const Value& a) {
     throw ModelError("unhandled unary operator");
 }
 
+namespace {
+
 const char* binary_symbol(BinaryOp op) {
     switch (op) {
         case BinaryOp::Add: return "+";
@@ -184,7 +224,11 @@ Value Expr::evaluate(const Environment& env) const {
             if (b->lhs.evaluate(env).as_bool()) return Value(true);
             return Value(b->rhs.evaluate(env).as_bool());
         }
-        return apply_binary(b->op, b->lhs.evaluate(env), b->rhs.evaluate(env));
+        // Fixed lhs-then-rhs order (function arguments would be unspecified),
+        // so the interpreter and the VM raise errors from the same operand.
+        const Value lv = b->lhs.evaluate(env);
+        const Value rv = b->rhs.evaluate(env);
+        return apply_binary(b->op, lv, rv);
     }
     const auto& ite_node = std::get<Ite>(n);
     return ite_node.cond.evaluate(env).as_bool() ? ite_node.then_branch.evaluate(env)

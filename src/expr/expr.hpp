@@ -91,7 +91,12 @@ public:
     /// Names of all identifiers appearing in the expression.
     [[nodiscard]] std::vector<std::string> free_variables() const;
 
-    // Construction helpers.
+    // Construction helpers.  unary/binary/ite constant-fold literal
+    // subtrees (2*0.5 becomes 1, `true & g` becomes g, `false & g` becomes
+    // false) — only folds that preserve evaluation semantics exactly are
+    // applied: a fold never hides an error the interpreter would raise
+    // under short-circuit evaluation, so folded and unfolded trees are
+    // observationally identical.
     static Expr literal(Value v);
     static Expr boolean(bool b);
     static Expr integer(long long i);
@@ -129,6 +134,16 @@ struct Ite {
 struct Node {
     std::variant<Literal, Identifier, Unary, Binary, Ite> v;
 };
+
+/// Applies a binary operator to already-evaluated operands.  Shared by the
+/// tree interpreter and the bytecode VM so both produce bit-identical
+/// results and throw identical ModelErrors on type mismatches.  Note that
+/// And/Or here are the *strict* variants; short-circuiting is the
+/// evaluators' responsibility.
+[[nodiscard]] Value apply_binary(BinaryOp op, const Value& a, const Value& b);
+
+/// Applies a unary operator (same sharing contract as apply_binary).
+[[nodiscard]] Value apply_unary(UnaryOp op, const Value& a);
 
 /// Parses the PRISM-style expression syntax:
 ///   literals: 3, 2.5, true, false

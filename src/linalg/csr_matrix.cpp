@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "linalg/kernels.hpp"
 #include "support/errors.hpp"
 
 namespace arcade::linalg {
@@ -78,30 +79,11 @@ double CsrMatrix::row_sum(std::size_t row) const {
 }
 
 void CsrMatrix::multiply_left(std::span<const double> x, std::span<double> y) const {
-    ARCADE_ASSERT(x.size() == rows_ && y.size() == cols_, "multiply_left shape mismatch");
-    std::fill(y.begin(), y.end(), 0.0);
-    for (std::size_t r = 0; r < rows_; ++r) {
-        const double xr = x[r];
-        if (xr == 0.0) continue;
-        const std::size_t begin = row_ptr_[r];
-        const std::size_t end = row_ptr_[r + 1];
-        for (std::size_t k = begin; k < end; ++k) {
-            y[col_idx_[k]] += xr * values_[k];
-        }
-    }
+    linalg::multiply_left(*this, x, y);
 }
 
 void CsrMatrix::multiply_right(std::span<const double> x, std::span<double> y) const {
-    ARCADE_ASSERT(x.size() == cols_ && y.size() == rows_, "multiply_right shape mismatch");
-    for (std::size_t r = 0; r < rows_; ++r) {
-        double acc = 0.0;
-        const std::size_t begin = row_ptr_[r];
-        const std::size_t end = row_ptr_[r + 1];
-        for (std::size_t k = begin; k < end; ++k) {
-            acc += values_[k] * x[col_idx_[k]];
-        }
-        y[r] = acc;
-    }
+    linalg::multiply_right(*this, x, y);
 }
 
 CsrMatrix CsrMatrix::transposed() const {

@@ -15,7 +15,9 @@ namespace {
 using State = std::vector<std::int64_t>;
 
 /// Environment over a flat valuation with constant fallback.  Bool variables
-/// surface as boolean values so guards like `!b` type-check.
+/// surface as boolean values so guards like `!b` type-check.  This is the
+/// interpreter (oracle) path; the VM path reads the same valuation through
+/// slot-indexed loads instead.
 class StateEnv final : public expr::Environment {
 public:
     StateEnv(const std::map<std::string, expr::Value>& constants,
@@ -45,11 +47,31 @@ private:
     std::span<const std::int64_t> state_;
 };
 
+/// One assignment with its target resolved to a slot index.
+struct CompiledAssignment {
+    std::size_t slot;
+    expr::Program value;
+};
+
+/// One stochastic alternative, pre-compiled.
+struct CompiledAlternative {
+    expr::Program rate;
+    std::vector<CompiledAssignment> assignments;
+};
+
+/// One guarded command, pre-compiled (guard + all alternatives).
+struct CompiledCommand {
+    expr::Program guard;
+    std::vector<CompiledAlternative> alternatives;
+};
+
 /// Commands of one action across the participating modules (one inner vector
 /// per module that owns commands with this action).
 struct SyncGroup {
     std::string action;
     std::vector<std::vector<const Command*>> per_module;
+    /// Parallel to per_module; filled only under EvalMode::Vm.
+    std::vector<std::vector<CompiledCommand>> compiled;
 };
 
 /// Immutable exploration context shared by all worker threads.
@@ -60,10 +82,56 @@ struct ExploreContext {
     std::vector<bool> is_bool;
     std::vector<const Command*> interleaved;
     std::vector<SyncGroup> sync_groups;
+    expr::EvalMode eval = expr::EvalMode::Vm;
+    expr::SlotMap slot_map;
+    /// Parallel to interleaved; filled only under EvalMode::Vm.
+    std::vector<CompiledCommand> compiled_interleaved;
 };
 
-ExploreContext make_context(const ModuleSystem& system) {
-    ExploreContext ctx{system, system.all_variables(), {}, {}, {}, {}};
+/// Unpacks a state valuation into VM slot values (bool-aware, like the
+/// StateEnv lookup), so every program of one state shares the conversion.
+void fill_slots(std::span<const std::int64_t> state, const std::vector<bool>& is_bool,
+                std::vector<expr::Value>& slots) {
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+        slots[i] = is_bool[i] ? expr::Value(state[i] != 0)
+                              : expr::Value(static_cast<long long>(state[i]));
+    }
+}
+
+expr::SlotMap make_slot_map(const ModuleSystem& system,
+                            const std::unordered_map<std::string, std::size_t>& var_index) {
+    expr::SlotMap map;
+    map.constants = &system.constants;
+    map.slots.reserve(var_index.size());
+    for (const auto& [name, index] : var_index) {
+        map.slots.emplace(name, static_cast<std::uint32_t>(index));
+    }
+    return map;
+}
+
+CompiledCommand compile_command(const Command& cmd, const ExploreContext& ctx) {
+    CompiledCommand out;
+    out.guard = expr::compile(cmd.guard, ctx.slot_map);
+    out.alternatives.reserve(cmd.alternatives.size());
+    for (const auto& alt : cmd.alternatives) {
+        CompiledAlternative ca;
+        ca.rate = expr::compile(alt.rate, ctx.slot_map);
+        ca.assignments.reserve(alt.assignments.size());
+        for (const auto& asg : alt.assignments) {
+            const auto it = ctx.var_index.find(asg.variable);
+            if (it == ctx.var_index.end()) {
+                throw ModelError("assignment to unknown variable '" + asg.variable + "'");
+            }
+            ca.assignments.push_back(
+                CompiledAssignment{it->second, expr::compile(asg.value, ctx.slot_map)});
+        }
+        out.alternatives.push_back(std::move(ca));
+    }
+    return out;
+}
+
+ExploreContext make_context(const ModuleSystem& system, expr::EvalMode eval) {
+    ExploreContext ctx{system, system.all_variables(), {}, {}, {}, {}, eval, {}, {}};
     if (ctx.vars.empty()) throw ModelError("module system has no variables");
     ctx.is_bool.resize(ctx.vars.size(), false);
     for (std::size_t i = 0; i < ctx.vars.size(); ++i) {
@@ -72,6 +140,7 @@ ExploreContext make_context(const ModuleSystem& system) {
         }
         ctx.is_bool[i] = ctx.vars[i].type == VarType::Bool;
     }
+    ctx.slot_map = make_slot_map(system, ctx.var_index);
 
     // Group synchronising commands by action.  The hot-path grouping maps
     // are unordered; the resulting groups are sorted by action name so the
@@ -91,12 +160,30 @@ ExploreContext make_context(const ModuleSystem& system) {
         }
         for (const auto& action : local_order) {
             auto [it, inserted] = group_index.try_emplace(action, ctx.sync_groups.size());
-            if (inserted) ctx.sync_groups.push_back(SyncGroup{action, {}});
+            if (inserted) ctx.sync_groups.push_back(SyncGroup{action, {}, {}});
             ctx.sync_groups[it->second].per_module.push_back(std::move(local[action]));
         }
     }
     std::sort(ctx.sync_groups.begin(), ctx.sync_groups.end(),
               [](const SyncGroup& a, const SyncGroup& b) { return a.action < b.action; });
+
+    // Pre-compile every guard/rate/assignment once per model; the successor
+    // loop then runs slot-indexed bytecode only.
+    if (ctx.eval == expr::EvalMode::Vm) {
+        ctx.compiled_interleaved.reserve(ctx.interleaved.size());
+        for (const Command* cmd : ctx.interleaved) {
+            ctx.compiled_interleaved.push_back(compile_command(*cmd, ctx));
+        }
+        for (auto& group : ctx.sync_groups) {
+            group.compiled.reserve(group.per_module.size());
+            for (const auto& cmds : group.per_module) {
+                std::vector<CompiledCommand> here;
+                here.reserve(cmds.size());
+                for (const Command* cmd : cmds) here.push_back(compile_command(*cmd, ctx));
+                group.compiled.push_back(std::move(here));
+            }
+        }
+    }
     return ctx;
 }
 
@@ -107,14 +194,88 @@ engine::StateLayout make_layout(const std::vector<VarDecl>& vars) {
     return engine::StateLayout(fields);
 }
 
-/// Per-thread successor generator over the shared context.
+/// Per-thread successor generator over the shared context.  Dispatches per
+/// state between the bytecode VM (default) and the tree interpreter
+/// (oracle); both walk the commands in exactly the same order, so the
+/// emitted transition sequence — and hence the explored chain — is
+/// identical bit for bit.
 class Worker {
 public:
     explicit Worker(const ExploreContext& ctx)
-        : ctx_(ctx), env_(ctx.system.constants, ctx.var_index, ctx.is_bool) {}
+        : ctx_(ctx),
+          env_(ctx.system.constants, ctx.var_index, ctx.is_bool),
+          slots_(ctx.vars.size()) {}
 
     template <typename Emit>
     void operator()(std::span<const std::int64_t> current, Emit&& emit) {
+        if (ctx_.eval == expr::EvalMode::Vm) {
+            run_vm(current, emit);
+        } else {
+            run_interp(current, emit);
+        }
+    }
+
+private:
+    template <typename Emit>
+    void run_vm(std::span<const std::int64_t> current, Emit&& emit) {
+        fill_slots(current, ctx_.is_bool, slots_);
+        const std::span<const expr::Value> slots(slots_);
+
+        // Interleaved commands.
+        for (const CompiledCommand& cmd : ctx_.compiled_interleaved) {
+            if (!cmd.guard.run(slots).as_bool()) continue;
+            for (const auto& alt : cmd.alternatives) {
+                const double rate = alt.rate.run(slots).as_double();
+                apply_assignments_vm(current, {&alt});
+                emit(std::span<const std::int64_t>(target_), rate);
+            }
+        }
+
+        // Synchronised commands: product over participating modules.
+        for (const auto& group : ctx_.sync_groups) {
+            enabled_vm_.clear();
+            bool blocked = false;
+            for (const auto& cmds : group.compiled) {
+                std::vector<std::pair<const CompiledAlternative*, double>> here;
+                for (const CompiledCommand& cmd : cmds) {
+                    if (!cmd.guard.run(slots).as_bool()) continue;
+                    for (const auto& alt : cmd.alternatives) {
+                        here.emplace_back(&alt, alt.rate.run(slots).as_double());
+                    }
+                }
+                if (here.empty()) {
+                    blocked = true;
+                    break;
+                }
+                enabled_vm_.push_back(std::move(here));
+            }
+            if (blocked || enabled_vm_.empty()) continue;
+
+            // Cartesian product.
+            pick_.assign(enabled_vm_.size(), 0);
+            while (true) {
+                double rate = 1.0;
+                alts_vm_.clear();
+                for (std::size_t m = 0; m < enabled_vm_.size(); ++m) {
+                    alts_vm_.push_back(enabled_vm_[m][pick_[m]].first);
+                    rate *= enabled_vm_[m][pick_[m]].second;
+                }
+                apply_assignments_vm(current, alts_vm_);
+                emit(std::span<const std::int64_t>(target_), rate);
+
+                // advance the odometer
+                std::size_t d = 0;
+                for (; d < pick_.size(); ++d) {
+                    if (++pick_[d] < enabled_vm_[d].size()) break;
+                    pick_[d] = 0;
+                }
+                if (d == pick_.size()) break;
+            }
+        }
+    }
+
+    template <typename Emit>
+    void run_interp(std::span<const std::int64_t> current, Emit&& emit) {
         // Interleaved commands.
         for (const Command* cmd : ctx_.interleaved) {
             env_.bind(current);
@@ -172,7 +333,35 @@ public:
         }
     }
 
-private:
+    void store_assignment(std::size_t slot, const expr::Value& v) {
+        const std::int64_t raw =
+            v.is_bool() ? static_cast<std::int64_t>(v.as_bool()) : v.as_int();
+        const auto& decl = ctx_.vars[slot];
+        if (raw < decl.low || raw > decl.high) {
+            throw ModelError("assignment drives '" + decl.name + "' to " +
+                             std::to_string(raw) + ", outside [" + std::to_string(decl.low) +
+                             "," + std::to_string(decl.high) + "]");
+        }
+        target_[slot] = raw;
+    }
+
+    void apply_assignments_vm(std::span<const std::int64_t> from,
+                              std::span<const CompiledAlternative* const> alts) {
+        target_.assign(from.begin(), from.end());
+        const std::span<const expr::Value> slots(slots_);
+        for (const CompiledAlternative* alt : alts) {
+            for (const auto& asg : alt->assignments) {
+                store_assignment(asg.slot, asg.value.run(slots));
+            }
+        }
+    }
+
+    void apply_assignments_vm(std::span<const std::int64_t> from,
+                              std::initializer_list<const CompiledAlternative*> alts) {
+        apply_assignments_vm(
+            from, std::span<const CompiledAlternative* const>(alts.begin(), alts.size()));
+    }
+
     void apply_assignments(std::span<const std::int64_t> from,
                            std::span<const Alternative* const> alts) {
         target_.assign(from.begin(), from.end());
@@ -183,17 +372,7 @@ private:
                 if (it == ctx_.var_index.end()) {
                     throw ModelError("assignment to unknown variable '" + asg.variable + "'");
                 }
-                const expr::Value v = asg.value.evaluate(env_);
-                const std::int64_t raw =
-                    v.is_bool() ? static_cast<std::int64_t>(v.as_bool()) : v.as_int();
-                const auto& decl = ctx_.vars[it->second];
-                if (raw < decl.low || raw > decl.high) {
-                    throw ModelError("assignment drives '" + asg.variable + "' to " +
-                                     std::to_string(raw) + ", outside [" +
-                                     std::to_string(decl.low) + "," +
-                                     std::to_string(decl.high) + "]");
-                }
-                target_[it->second] = raw;
+                store_assignment(it->second, asg.value.evaluate(env_));
             }
         }
     }
@@ -205,10 +384,13 @@ private:
 
     const ExploreContext& ctx_;
     StateEnv env_;
+    std::vector<expr::Value> slots_;
     State target_;
     std::vector<std::vector<std::pair<const Alternative*, double>>> enabled_;
+    std::vector<std::vector<std::pair<const CompiledAlternative*, double>>> enabled_vm_;
     std::vector<std::size_t> pick_;
     std::vector<const Alternative*> alts_;
+    std::vector<const CompiledAlternative*> alts_vm_;
 };
 
 }  // namespace
@@ -239,7 +421,7 @@ std::vector<std::vector<std::int64_t>> ExploredModel::states() const {
 }
 
 ExploredModel explore(const ModuleSystem& system, const ExploreOptions& options) {
-    const ExploreContext ctx = make_context(system);
+    const ExploreContext ctx = make_context(system, options.eval);
 
     State initial(ctx.vars.size());
     for (std::size_t i = 0; i < ctx.vars.size(); ++i) {
@@ -272,41 +454,95 @@ ExploredModel explore(const ModuleSystem& system, const ExploreOptions& options)
     out.variable_names.reserve(ctx.vars.size());
     for (const auto& v : ctx.vars) out.variable_names.push_back(v.name);
 
-    // Labels and rewards: one serial sweep over the decoded states.
-    StateEnv env(system.constants, ctx.var_index, ctx.is_bool);
-    State values(ctx.vars.size());
+    // Labels and rewards: one serial sweep over the decoded states, reusing
+    // the same compiled programs (or the oracle environment) per state.
     const std::size_t n = out.store.size();
-    for (const auto& [name, predicate] : system.labels) {
-        std::vector<bool> bits(n, false);
-        for (std::size_t s = 0; s < n; ++s) {
-            out.store.unpack(s, std::span<std::int64_t>(values));
-            env.bind(values);
-            bits[s] = predicate.evaluate(env).as_bool();
+    State values(ctx.vars.size());
+    if (ctx.eval == expr::EvalMode::Vm) {
+        std::vector<std::pair<std::string, expr::Program>> label_programs;
+        for (const auto& [name, predicate] : system.labels) {
+            label_programs.emplace_back(name, expr::compile(predicate, ctx.slot_map));
         }
-        out.chain.set_label(name, std::move(bits));
-    }
-    for (const auto& decl : system.rewards) {
-        std::vector<double> rates(n, 0.0);
-        for (std::size_t s = 0; s < n; ++s) {
-            out.store.unpack(s, std::span<std::int64_t>(values));
-            env.bind(values);
-            double r = 0.0;
+        struct RewardProgram {
+            expr::Program guard;
+            expr::Program rate;
+        };
+        std::vector<std::vector<RewardProgram>> reward_programs;
+        for (const auto& decl : system.rewards) {
+            std::vector<RewardProgram> items;
+            items.reserve(decl.items.size());
             for (const auto& item : decl.items) {
-                if (item.guard.evaluate(env).as_bool()) {
-                    r += item.rate.evaluate(env).as_double();
-                }
+                items.push_back(RewardProgram{expr::compile(item.guard, ctx.slot_map),
+                                              expr::compile(item.rate, ctx.slot_map)});
             }
-            rates[s] = r;
+            reward_programs.push_back(std::move(items));
         }
-        out.reward_structures.emplace(decl.name,
-                                      rewards::RewardStructure(decl.name, std::move(rates)));
+
+        std::vector<expr::Value> slots(ctx.vars.size());
+        std::vector<std::vector<bool>> label_bits(label_programs.size(),
+                                                  std::vector<bool>(n, false));
+        std::vector<std::vector<double>> reward_rates(reward_programs.size(),
+                                                      std::vector<double>(n, 0.0));
+        for (std::size_t s = 0; s < n; ++s) {
+            out.store.unpack(s, std::span<std::int64_t>(values));
+            fill_slots(values, ctx.is_bool, slots);
+            for (std::size_t l = 0; l < label_programs.size(); ++l) {
+                label_bits[l][s] = label_programs[l].second.run(slots).as_bool();
+            }
+            for (std::size_t r = 0; r < reward_programs.size(); ++r) {
+                double rate = 0.0;
+                for (const auto& item : reward_programs[r]) {
+                    if (item.guard.run(slots).as_bool()) {
+                        rate += item.rate.run(slots).as_double();
+                    }
+                }
+                reward_rates[r][s] = rate;
+            }
+        }
+        for (std::size_t l = 0; l < label_programs.size(); ++l) {
+            out.chain.set_label(label_programs[l].first, std::move(label_bits[l]));
+        }
+        for (std::size_t r = 0; r < reward_programs.size(); ++r) {
+            out.reward_structures.emplace(
+                system.rewards[r].name,
+                rewards::RewardStructure(system.rewards[r].name,
+                                         std::move(reward_rates[r])));
+        }
+    } else {
+        StateEnv env(system.constants, ctx.var_index, ctx.is_bool);
+        for (const auto& [name, predicate] : system.labels) {
+            std::vector<bool> bits(n, false);
+            for (std::size_t s = 0; s < n; ++s) {
+                out.store.unpack(s, std::span<std::int64_t>(values));
+                env.bind(values);
+                bits[s] = predicate.evaluate(env).as_bool();
+            }
+            out.chain.set_label(name, std::move(bits));
+        }
+        for (const auto& decl : system.rewards) {
+            std::vector<double> rates(n, 0.0);
+            for (std::size_t s = 0; s < n; ++s) {
+                out.store.unpack(s, std::span<std::int64_t>(values));
+                env.bind(values);
+                double r = 0.0;
+                for (const auto& item : decl.items) {
+                    if (item.guard.evaluate(env).as_bool()) {
+                        r += item.rate.evaluate(env).as_double();
+                    }
+                }
+                rates[s] = r;
+            }
+            out.reward_structures.emplace(decl.name,
+                                          rewards::RewardStructure(decl.name, std::move(rates)));
+        }
     }
     return out;
 }
 
 std::vector<bool> evaluate_state_predicate(const ExploredModel& model,
                                            const ModuleSystem& system,
-                                           const expr::Expr& predicate) {
+                                           const expr::Expr& predicate,
+                                           expr::EvalMode eval) {
     std::unordered_map<std::string, std::size_t> var_index;
     for (std::size_t i = 0; i < model.variable_names.size(); ++i) {
         var_index.emplace(model.variable_names[i], i);
@@ -317,9 +553,20 @@ std::vector<bool> evaluate_state_predicate(const ExploredModel& model,
         const auto it = var_index.find(v.name);
         if (it != var_index.end()) is_bool[it->second] = v.type == VarType::Bool;
     }
-    StateEnv env(system.constants, var_index, is_bool);
     std::vector<bool> bits(model.store.size(), false);
     State values(model.variable_names.size());
+    if (eval == expr::EvalMode::Vm) {
+        const expr::SlotMap slot_map = make_slot_map(system, var_index);
+        const expr::Program program = expr::compile(predicate, slot_map);
+        std::vector<expr::Value> slots(model.variable_names.size());
+        for (std::size_t s = 0; s < model.store.size(); ++s) {
+            model.store.unpack(s, std::span<std::int64_t>(values));
+            fill_slots(values, is_bool, slots);
+            bits[s] = program.run(slots).as_bool();
+        }
+        return bits;
+    }
+    StateEnv env(system.constants, var_index, is_bool);
     for (std::size_t s = 0; s < model.store.size(); ++s) {
         model.store.unpack(s, std::span<std::int64_t>(values));
         env.bind(values);

@@ -19,6 +19,7 @@
 
 #include "ctmc/ctmc.hpp"
 #include "engine/state_store.hpp"
+#include "expr/vm.hpp"
 #include "modules/modules.hpp"
 #include "rewards/rewards.hpp"
 
@@ -28,6 +29,11 @@ struct ExploreOptions {
     std::size_t max_states = 50'000'000;  ///< explosion guard
     /// Worker threads for the sharded BFS; 0 = hardware concurrency.
     unsigned threads = 0;
+    /// Evaluator for guards/rates/assignments/labels/rewards.  The default
+    /// compiles every expression to bytecode once per model (expr::vm); the
+    /// tree interpreter (ARCADE_EVAL=interp, or set explicitly here) is the
+    /// oracle — both produce bitwise-identical chains.
+    expr::EvalMode eval = expr::default_eval_mode();
 };
 
 /// Result of exploring a module system.
@@ -57,10 +63,11 @@ struct ExploredModel {
                                     const ExploreOptions& options = {});
 
 /// Evaluates a boolean expression over every explored state (e.g. an ad-hoc
-/// label that was not registered before exploration).
-[[nodiscard]] std::vector<bool> evaluate_state_predicate(const ExploredModel& model,
-                                                         const ModuleSystem& system,
-                                                         const expr::Expr& predicate);
+/// label that was not registered before exploration).  The predicate is
+/// compiled once and run per state under `eval` (VM by default).
+[[nodiscard]] std::vector<bool> evaluate_state_predicate(
+    const ExploredModel& model, const ModuleSystem& system, const expr::Expr& predicate,
+    expr::EvalMode eval = expr::default_eval_mode());
 
 }  // namespace arcade::modules
 

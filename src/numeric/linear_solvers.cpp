@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/kernels.hpp"
 #include "linalg/vector_ops.hpp"
 #include "support/errors.hpp"
 
@@ -45,12 +46,8 @@ SolverResult steady_state_gauss_seidel(const linalg::CsrMatrix& rate_matrix,
         double worst = 0.0;
         for (std::size_t j = 0; j < n; ++j) {
             if (exit_rate[j] <= 0.0) continue;  // absorbing: handled by caller
-            const auto cols = incoming.row_columns(j);
-            const auto vals = incoming.row_values(j);
-            double inflow = 0.0;
-            for (std::size_t k = 0; k < cols.size(); ++k) {
-                if (cols[k] != j) inflow += pi[cols[k]] * vals[k];
-            }
+            const double inflow = linalg::gather_skip_diag(
+                incoming.row_columns(j), incoming.row_values(j), pi, j, 0.0);
             const double newv = inflow / exit_rate[j];
             worst = std::max(worst, criterion(newv, pi[j], options.relative));
             pi[j] = newv;
@@ -77,17 +74,9 @@ SolverResult fixpoint_gauss_seidel(const linalg::CsrMatrix& a, std::span<const d
     for (std::size_t it = 0; it < options.max_iterations; ++it) {
         double worst = 0.0;
         for (std::size_t i = 0; i < n; ++i) {
-            const auto cols = a.row_columns(i);
-            const auto vals = a.row_values(i);
-            double acc = b[i];
             double diag = 0.0;
-            for (std::size_t k = 0; k < cols.size(); ++k) {
-                if (cols[k] == i) {
-                    diag = vals[k];
-                } else {
-                    acc += vals[k] * x[cols[k]];
-                }
-            }
+            const double acc = linalg::gather_capture_diag(a.row_columns(i), a.row_values(i),
+                                                           x, i, b[i], diag);
             // x_i = a_ii x_i + acc  =>  x_i = acc / (1 - a_ii)
             ARCADE_ASSERT(diag < 1.0, "fixpoint: diagonal >= 1 is singular");
             const double newv = acc / (1.0 - diag);
@@ -127,21 +116,7 @@ SolverResult steady_state_power(const linalg::CsrMatrix& rate_matrix, std::span<
 
     SolverResult res;
     for (std::size_t it = 0; it < options.max_iterations; ++it) {
-        std::fill(next.begin(), next.end(), 0.0);
-        for (std::size_t i = 0; i < n; ++i) {
-            const double p = pi[i];
-            if (p == 0.0) continue;
-            const auto cols = rate_matrix.row_columns(i);
-            const auto vals = rate_matrix.row_values(i);
-            double moved = 0.0;
-            for (std::size_t k = 0; k < cols.size(); ++k) {
-                if (cols[k] == i) continue;
-                const double q = vals[k] / lambda;
-                next[cols[k]] += p * q;
-                moved += q;
-            }
-            next[i] += p * (1.0 - moved);
-        }
+        linalg::uniformised_multiply_left(rate_matrix, lambda, pi, next);
         const double err = options.relative ? linalg::relative_distance(next, pi)
                                             : linalg::linf_distance(next, pi);
         std::copy(next.begin(), next.end(), pi.begin());

@@ -113,6 +113,28 @@ TEST(ExprParser, RoundTripsThroughToString) {
     }
 }
 
+// Construction-time constant folding: literal subtrees collapse while
+// building the AST, visible through to_string (which still round-trips).
+TEST(ExprParser, LiteralSubtreesFoldAtConstruction) {
+    EXPECT_EQ(expr::parse_expression("2 * 0.5").to_string(), "1");
+    EXPECT_EQ(expr::parse_expression("1 + 2 * 3").to_string(), "7");
+    EXPECT_EQ(expr::parse_expression("-(3)").to_string(), "-3");
+    EXPECT_EQ(expr::parse_expression("true & g").to_string(), "g");
+    EXPECT_EQ(expr::parse_expression("false & g").to_string(), "false");
+    EXPECT_EQ(expr::parse_expression("true | g").to_string(), "true");
+    EXPECT_EQ(expr::parse_expression("false | g").to_string(), "g");
+    EXPECT_EQ(expr::parse_expression("true ? a : b").to_string(), "a");
+    EXPECT_EQ(expr::parse_expression("false ? a : b").to_string(), "b");
+
+    // NOT folded: a literal rhs must keep evaluating (and erroring on) the
+    // lhs, and ill-typed literal folds keep their node so errors stay at
+    // evaluation time.
+    EXPECT_EQ(expr::parse_expression("g & false").to_string(), "(g & false)");
+    EXPECT_EQ(expr::parse_expression("1 / 0").to_string(), "(1 / 0)");
+    EXPECT_EQ(expr::parse_expression("!(3)").to_string(), "!(3)");
+    EXPECT_THROW(eval("1 / 0"), arcade::ModelError);
+}
+
 TEST(ExprParser, FreeVariables) {
     const auto e = expr::parse_expression("x + y * x");
     const auto vars = e.free_variables();
