@@ -1,0 +1,107 @@
+// arcade_lint — standalone front-end for the model linter (analysis/lint.hpp).
+//
+//   arcade_lint [--level off|warn|error] <model>...
+//
+// Each <model> is either an Arcade XML file (.xml — linted through its
+// reactive-modules translation) or a PRISM file (.prism/.pm/.sm — linted
+// directly, including the AR010 unused-formula check the parser feeds).
+// Diagnostics print to stdout, one line each, prefixed with the file name.
+//
+// Exit status: 0 when no file produced an error-severity finding (warnings
+// and notes are fine; --level off merely parses), 1 when any did, 2 on
+// usage or parse failure.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.hpp"
+#include "arcade/modules_compiler.hpp"
+#include "arcade/xml_io.hpp"
+#include "prism/prism_parser.hpp"
+#include "support/errors.hpp"
+
+namespace analysis = arcade::analysis;
+
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw arcade::ModelError("cannot open '" + path + "'");
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+/// Lints one file; returns its report.  Throws on parse failure.
+analysis::LintReport lint_file(const std::string& path) {
+    analysis::LintOptions options;
+    arcade::modules::ModuleSystem system;
+    if (ends_with(path, ".xml")) {
+        system = arcade::core::to_reactive_modules(arcade::core::load_model(path));
+    } else {
+        arcade::prism::PrismParseInfo info;
+        system = arcade::prism::parse_prism(read_file(path), &info);
+        options.unused_formulas = std::move(info.unused_formulas);
+    }
+    return analysis::lint(system, options);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    analysis::LintLevel level = analysis::default_lint_level();
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--level" && i + 1 < argc) {
+            const auto parsed = analysis::parse_lint_level(argv[++i]);
+            if (!parsed) {
+                std::cerr << "arcade_lint: unknown level '" << argv[i]
+                          << "' (expected off, warn or error)\n";
+                return 2;
+            }
+            level = *parsed;
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: arcade_lint [--level off|warn|error] <model.xml|model.prism>...\n";
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "arcade_lint: unknown option '" << arg << "'\n";
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.empty()) {
+        std::cerr << "usage: arcade_lint [--level off|warn|error] <model.xml|model.prism>...\n";
+        return 2;
+    }
+
+    int errors = 0;
+    int warnings = 0;
+    for (const auto& path : paths) {
+        analysis::LintReport report;
+        try {
+            report = lint_file(path);
+        } catch (const std::exception& e) {
+            std::cerr << path << ": " << e.what() << "\n";
+            return 2;
+        }
+        if (level == analysis::LintLevel::Off) continue;
+        errors += report.errors;
+        warnings += report.warnings + report.notes;
+        for (const auto& d : report.diagnostics) {
+            std::cout << path << ": " << d.to_string() << "\n";
+        }
+    }
+    std::printf("%zu file(s) checked, %d error(s), %d warning(s)\n", paths.size(),
+                errors, warnings);
+    return level != analysis::LintLevel::Off && errors > 0 ? 1 : 0;
+}

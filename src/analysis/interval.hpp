@@ -1,0 +1,89 @@
+// Abstract interpretation over the typed expr IR — the interval/range
+// analysis the model linter (analysis/lint.hpp) is built on.
+//
+// An AbstractValue over-approximates the set of concrete expr::Values an
+// expression can take when its free variables range over their declared
+// bounds: numeric possibilities are a closed interval [lo, hi] (with an
+// "all integers" refinement so comparisons can tighten by whole units),
+// boolean possibilities are the pair {can_true, can_false}, and may_fail
+// records whether evaluation can throw a ModelError (type mismatch,
+// division by zero).  Soundness invariant: every value Expr::evaluate can
+// produce under some in-range valuation is contained in the abstraction —
+// so "can_true == false" PROVES a guard unsatisfiable, and an interval
+// inside the declared range PROVES an assignment safe; the converse
+// directions are approximate and the linter confirms them by enumeration
+// where feasible.
+//
+// abstract_eval mirrors the concrete evaluator's semantics exactly where it
+// matters: `&`/`|` short-circuit (the rhs of a provably-false lhs cannot
+// fail), ite evaluates each branch under the condition-refined environment,
+// and every operator fails on the operand types apply_binary/apply_unary
+// reject.
+#ifndef ARCADE_ANALYSIS_INTERVAL_HPP
+#define ARCADE_ANALYSIS_INTERVAL_HPP
+
+#include <map>
+#include <string>
+
+#include "expr/expr.hpp"
+
+namespace arcade::analysis {
+
+/// Over-approximation of the concrete values an expression can take.
+struct AbstractValue {
+    /// Numeric possibilities: the closed interval [lo, hi] when has_numeric.
+    bool has_numeric = false;
+    double lo = 0.0;
+    double hi = 0.0;
+    /// Every numeric possibility is a whole number (lets comparisons refine
+    /// by whole units: x > 1 over an integer x means x >= 2).
+    bool integral = false;
+    /// Boolean possibilities.
+    bool can_true = false;
+    bool can_false = false;
+    /// Evaluation can throw a ModelError (type mismatch, division by zero).
+    bool may_fail = false;
+
+    [[nodiscard]] bool has_bool() const noexcept { return can_true || can_false; }
+    /// Nothing can come out of this expression but an error.
+    [[nodiscard]] bool always_fails() const noexcept {
+        return !has_numeric && !has_bool();
+    }
+    /// Exactly one numeric value and no other possibility.
+    [[nodiscard]] bool is_singleton() const noexcept {
+        return has_numeric && lo == hi && !has_bool();
+    }
+
+    static AbstractValue numeric(double lo, double hi, bool integral = false);
+    static AbstractValue boolean(bool can_true, bool can_false);
+    static AbstractValue constant(const expr::Value& v);
+    /// Unknown identifier: any value, any failure.
+    static AbstractValue top();
+
+    /// Least upper bound (set union).
+    [[nodiscard]] AbstractValue join(const AbstractValue& other) const;
+
+    /// "[0, 3]", "{true}", "[1, 2] or {false}" — for diagnostics.
+    [[nodiscard]] std::string to_string() const;
+};
+
+/// Variable/constant name -> abstract value.  Identifiers absent from the
+/// environment evaluate to top() (the linter reports them separately).
+using AbstractEnv = std::map<std::string, AbstractValue>;
+
+/// Abstract evaluation of `e` under `env`.
+[[nodiscard]] AbstractValue abstract_eval(const expr::Expr& e, const AbstractEnv& env);
+
+/// Environment refined by assuming `cond` evaluated to `assume_true`.
+/// Understands conjunctions (disjunctions under a negated assumption),
+/// negation, and comparisons between one identifier and one constant —
+/// enough for the guards and ite conditions the Arcade translation emits
+/// (e.g. `s_m = 1 & q_m > 1` tightens q_m to [2, hi]).  Anything it cannot
+/// interpret leaves the environment unchanged (always sound: refinement
+/// only ever shrinks abstract values).
+[[nodiscard]] AbstractEnv refine(AbstractEnv env, const expr::Expr& cond,
+                                 bool assume_true);
+
+}  // namespace arcade::analysis
+
+#endif  // ARCADE_ANALYSIS_INTERVAL_HPP

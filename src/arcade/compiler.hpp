@@ -27,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/lint.hpp"
 #include "arcade/types.hpp"
 #include "ctmc/ctmc.hpp"
 #include "ctmc/quotient.hpp"
@@ -66,6 +67,11 @@ struct CompileOptions {
     unsigned threads = 0;
     /// Run analyses on the lumped quotient of the compiled chain?
     ReductionPolicy reduction = default_reduction_policy();
+    /// Model linter stage (analysis/lint.hpp), run on the reactive-modules
+    /// translation before exploration.  Warn reports findings to stderr;
+    /// Error additionally throws ModelError when any error-severity finding
+    /// exists.  Overridable per process via ARCADE_LINT=off|warn|error.
+    analysis::LintLevel lint = analysis::default_lint_level();
 };
 
 /// A disaster for survivability analysis: how many components of each phase
@@ -113,6 +119,18 @@ public:
     [[nodiscard]] Encoding encoding() const noexcept { return encoding_; }
     [[nodiscard]] ReductionPolicy reduction() const noexcept { return reduction_; }
 
+    /// Findings of the lint stage that compiled this model (0/0 when the
+    /// stage was off or the model has no reactive-modules translation).
+    /// Warnings include notes; the AnalysisSession aggregates these into its
+    /// lint_warnings/lint_errors counters.
+    [[nodiscard]] int lint_warnings() const noexcept { return lint_warnings_; }
+    [[nodiscard]] int lint_errors() const noexcept { return lint_errors_; }
+    /// Set by arcade::compile after the lint stage runs.
+    void set_lint_counts(int warnings, int errors) noexcept {
+        lint_warnings_ = warnings;
+        lint_errors_ = errors;
+    }
+
     /// The model's full measure signature: every chain label plus the
     /// service-level and cost-rate vectors — the union of everything any
     /// measure in this library reads, so ONE quotient serves them all.
@@ -157,6 +175,8 @@ private:
     engine::StateStore store_;
     Encoding encoding_;
     ReductionPolicy reduction_ = ReductionPolicy::Off;
+    int lint_warnings_ = 0;
+    int lint_errors_ = 0;
     /// Lazy quotient cache.  The mutex lives behind a shared_ptr so the
     /// model stays movable (run_compile returns by value).
     mutable std::shared_ptr<std::mutex> quotient_mutex_ = std::make_shared<std::mutex>();

@@ -40,12 +40,14 @@ private:
 };
 
 std::uint64_t options_key(std::uint64_t model_fp, std::uint64_t encoding,
-                          std::size_t max_states, std::uint64_t reduction) {
+                          std::size_t max_states, std::uint64_t reduction,
+                          std::uint64_t lint = 0) {
     Fingerprinter fp(0);
     fp.mix(model_fp);
     fp.mix(encoding);
     fp.mix(max_states);
     fp.mix(reduction);
+    fp.mix(lint);
     return fp.value();
 }
 
@@ -142,11 +144,13 @@ AnalysisSession::CompiledPtr AnalysisSession::compile(const core::ArcadeModel& m
                                                       const core::CompileOptions& options) {
     const std::uint64_t key = options_key(
         fingerprint(model), static_cast<std::uint64_t>(options.encoding), options.max_states,
-        static_cast<std::uint64_t>(options.reduction));
+        static_cast<std::uint64_t>(options.reduction),
+        static_cast<std::uint64_t>(options.lint));
     const std::uint64_t check = options_key(fingerprint(model, /*seed=*/1),
                                             static_cast<std::uint64_t>(options.encoding),
                                             options.max_states,
-                                            static_cast<std::uint64_t>(options.reduction));
+                                            static_cast<std::uint64_t>(options.reduction),
+                                            static_cast<std::uint64_t>(options.lint));
     {
         std::lock_guard<std::mutex> lock(mutex_);
         const auto it = compiled_.find(key);
@@ -166,6 +170,8 @@ AnalysisSession::CompiledPtr AnalysisSession::compile(const core::ArcadeModel& m
     }
     entry = {check, std::move(fresh)};
     ++stats_.compile_misses;
+    stats_.lint_warnings += static_cast<std::size_t>(entry.value->lint_warnings());
+    stats_.lint_errors += static_cast<std::size_t>(entry.value->lint_errors());
     return entry.value;
 }
 

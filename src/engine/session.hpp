@@ -59,6 +59,11 @@ struct SessionStats {
     /// misses run the checker (on the quotient under ReductionPolicy::Auto).
     std::size_t property_hits = 0;
     std::size_t property_misses = 0;
+    /// Lint-stage findings aggregated over compile misses (warnings include
+    /// notes); cached compiles re-report nothing, mirroring the fact that
+    /// the stage ran once per model.
+    std::size_t lint_warnings = 0;
+    std::size_t lint_errors = 0;
 
     /// Aggregate state-space reduction achieved by lumping (>= 1; 1.0 when
     /// nothing was lumped).
@@ -85,7 +90,9 @@ struct SessionStats {
                         after.lump_states_in - before.lump_states_in,
                         after.lump_states_out - before.lump_states_out,
                         after.property_hits - before.property_hits,
-                        after.property_misses - before.property_misses};
+                        after.property_misses - before.property_misses,
+                        after.lint_warnings - before.lint_warnings,
+                        after.lint_errors - before.lint_errors};
 }
 
 /// Structural fingerprint of a model (stable across identical rebuilds of

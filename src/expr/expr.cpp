@@ -41,6 +41,13 @@ const std::variant<Literal, Identifier, Unary, Binary, Ite>& Expr::node() const 
     return node_->v;
 }
 
+std::size_t Expr::offset() const noexcept { return node_ == nullptr ? npos : node_->offset; }
+
+Expr Expr::with_offset(std::size_t offset) const {
+    if (node_ == nullptr || node_->offset == offset) return *this;
+    return Expr(std::make_shared<Node>(Node{node_->v, offset}));
+}
+
 namespace {
 
 /// The literal value of `e`, or nullptr when `e` is not a literal node.

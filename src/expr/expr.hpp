@@ -7,6 +7,7 @@
 #ifndef ARCADE_EXPR_EXPR_HPP
 #define ARCADE_EXPR_EXPR_HPP
 
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <variant>
@@ -75,12 +76,27 @@ struct Node;
 /// construction, so sharing subtrees is safe and cheap.
 class Expr {
 public:
+    /// "No source offset": expressions built programmatically (the Arcade
+    /// translation) carry no anchor; parsed expressions carry the byte
+    /// offset of each subexpression in the text they came from.
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
     Expr() = default;
     explicit Expr(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
 
     [[nodiscard]] bool empty() const noexcept { return node_ == nullptr; }
     /// The underlying variant; use std::get_if on it.
     [[nodiscard]] const std::variant<Literal, Identifier, Unary, Binary, Ite>& node() const;
+
+    /// Byte offset of this node in the source it was parsed from (mirroring
+    /// the byte offsets csl_parser reports in ParseError), or npos when the
+    /// expression was built programmatically.  Lint diagnostics use it to
+    /// point at the offending subexpression.
+    [[nodiscard]] std::size_t offset() const noexcept;
+
+    /// Copy of this expression annotated with a source offset (subtrees keep
+    /// their own offsets; sharing is preserved).
+    [[nodiscard]] Expr with_offset(std::size_t offset) const;
 
     /// Evaluates under `env`.  Type errors throw arcade::ModelError.
     [[nodiscard]] Value evaluate(const Environment& env) const;
@@ -133,6 +149,8 @@ struct Ite {
 
 struct Node {
     std::variant<Literal, Identifier, Unary, Binary, Ite> v;
+    /// Source anchor; see Expr::offset().
+    std::size_t offset = Expr::npos;
 };
 
 /// Applies a binary operator to already-evaluated operands.  Shared by the
@@ -149,7 +167,10 @@ struct Node {
 ///   literals: 3, 2.5, true, false
 ///   operators: ? :, <=>, =>, |, &, !, = !=, < <= > >=, + -, * /, unary -
 ///   calls: min(a,b,...), max(a,b,...), floor(x), ceil(x), pow(x,y)
-[[nodiscard]] Expr parse_expression(const std::string& text);
+/// Every parsed node is stamped with `base_offset` plus the byte offset of
+/// its subexpression in `text`, so diagnostics on slices of a larger source
+/// (the PRISM parser) can anchor into the whole file.
+[[nodiscard]] Expr parse_expression(const std::string& text, std::size_t base_offset = 0);
 
 }  // namespace arcade::expr
 

@@ -133,7 +133,10 @@ private:
 
 class Parser {
 public:
-    explicit Parser(const std::string& text) : lexer_(text) { advance(); }
+    explicit Parser(const std::string& text, std::size_t base_offset)
+        : lexer_(text), base_(base_offset) {
+        advance();
+    }
 
     Expr parse() {
         Expr e = parse_ternary();
@@ -144,8 +147,14 @@ public:
 private:
     Lexer lexer_;
     Token current_;
+    std::size_t base_ = 0;
 
     void advance() { current_ = lexer_.next(); }
+
+    /// Stamps a parsed (sub)expression with its source byte offset.  After a
+    /// constant fold the composite may BE one of its operands; re-stamping
+    /// with the construct's start still points inside the right text.
+    Expr at(std::size_t pos, Expr e) const { return e.with_offset(base_ + pos); }
 
     void expect(TokenKind kind, const std::string& what) {
         if (current_.kind != kind) {
@@ -156,62 +165,69 @@ private:
     }
 
     Expr parse_ternary() {
+        const std::size_t start = current_.pos;
         Expr cond = parse_iff();
         if (current_.kind == TokenKind::Question) {
             advance();
             Expr a = parse_ternary();
             expect(TokenKind::Colon, "':'");
             Expr b = parse_ternary();
-            return Expr::ite(std::move(cond), std::move(a), std::move(b));
+            return at(start, Expr::ite(std::move(cond), std::move(a), std::move(b)));
         }
         return cond;
     }
 
     Expr parse_iff() {
+        const std::size_t start = current_.pos;
         Expr lhs = parse_implies();
         while (current_.kind == TokenKind::Iff) {
             advance();
-            lhs = Expr::binary(BinaryOp::Iff, std::move(lhs), parse_implies());
+            lhs = at(start, Expr::binary(BinaryOp::Iff, std::move(lhs), parse_implies()));
         }
         return lhs;
     }
 
     Expr parse_implies() {
+        const std::size_t start = current_.pos;
         Expr lhs = parse_or();
         if (current_.kind == TokenKind::Implies) {  // right-associative
             advance();
-            return Expr::binary(BinaryOp::Implies, std::move(lhs), parse_implies());
+            return at(start, Expr::binary(BinaryOp::Implies, std::move(lhs), parse_implies()));
         }
         return lhs;
     }
 
     Expr parse_or() {
+        const std::size_t start = current_.pos;
         Expr lhs = parse_and();
         while (current_.kind == TokenKind::Or) {
             advance();
-            lhs = Expr::binary(BinaryOp::Or, std::move(lhs), parse_and());
+            lhs = at(start, Expr::binary(BinaryOp::Or, std::move(lhs), parse_and()));
         }
         return lhs;
     }
 
     Expr parse_and() {
+        const std::size_t start = current_.pos;
         Expr lhs = parse_not();
         while (current_.kind == TokenKind::And) {
             advance();
-            lhs = Expr::binary(BinaryOp::And, std::move(lhs), parse_not());
+            lhs = at(start, Expr::binary(BinaryOp::And, std::move(lhs), parse_not()));
         }
         return lhs;
     }
 
     Expr parse_not() {
         if (current_.kind == TokenKind::Not) {
+            const std::size_t start = current_.pos;
             advance();
-            return Expr::unary(UnaryOp::Not, parse_not());
+            return at(start, Expr::unary(UnaryOp::Not, parse_not()));
         }
         return parse_comparison();
     }
 
     Expr parse_comparison() {
+        const std::size_t start = current_.pos;
         Expr lhs = parse_additive();
         const auto op = [&]() -> std::optional<BinaryOp> {
             switch (current_.kind) {
@@ -226,63 +242,67 @@ private:
         }();
         if (op) {
             advance();
-            return Expr::binary(*op, std::move(lhs), parse_additive());
+            return at(start, Expr::binary(*op, std::move(lhs), parse_additive()));
         }
         return lhs;
     }
 
     Expr parse_additive() {
+        const std::size_t start = current_.pos;
         Expr lhs = parse_multiplicative();
         while (current_.kind == TokenKind::Plus || current_.kind == TokenKind::Minus) {
             const BinaryOp op =
                 current_.kind == TokenKind::Plus ? BinaryOp::Add : BinaryOp::Sub;
             advance();
-            lhs = Expr::binary(op, std::move(lhs), parse_multiplicative());
+            lhs = at(start, Expr::binary(op, std::move(lhs), parse_multiplicative()));
         }
         return lhs;
     }
 
     Expr parse_multiplicative() {
+        const std::size_t start = current_.pos;
         Expr lhs = parse_unary();
         while (current_.kind == TokenKind::Star || current_.kind == TokenKind::Slash) {
             const BinaryOp op =
                 current_.kind == TokenKind::Star ? BinaryOp::Mul : BinaryOp::Div;
             advance();
-            lhs = Expr::binary(op, std::move(lhs), parse_unary());
+            lhs = at(start, Expr::binary(op, std::move(lhs), parse_unary()));
         }
         return lhs;
     }
 
     Expr parse_unary() {
         if (current_.kind == TokenKind::Minus) {
+            const std::size_t start = current_.pos;
             advance();
-            return Expr::unary(UnaryOp::Neg, parse_unary());
+            return at(start, Expr::unary(UnaryOp::Neg, parse_unary()));
         }
         return parse_primary();
     }
 
     Expr parse_primary() {
+        const std::size_t start = current_.pos;
         switch (current_.kind) {
             case TokenKind::Number: {
                 const std::string text = current_.text;
                 advance();
                 if (text.find('.') == std::string::npos && text.find('e') == std::string::npos &&
                     text.find('E') == std::string::npos) {
-                    return Expr::integer(std::stoll(text));
+                    return at(start, Expr::integer(std::stoll(text)));
                 }
-                return Expr::real(std::stod(text));
+                return at(start, Expr::real(std::stod(text)));
             }
             case TokenKind::True:
                 advance();
-                return Expr::boolean(true);
+                return at(start, Expr::boolean(true));
             case TokenKind::False:
                 advance();
-                return Expr::boolean(false);
+                return at(start, Expr::boolean(false));
             case TokenKind::Identifier: {
                 const std::string name = current_.text;
                 advance();
-                if (current_.kind == TokenKind::LParen) return parse_call(name);
-                return Expr::identifier(name);
+                if (current_.kind == TokenKind::LParen) return at(start, parse_call(name));
+                return at(start, Expr::identifier(name));
             }
             case TokenKind::LParen: {
                 advance();
@@ -337,6 +357,8 @@ private:
 
 }  // namespace
 
-Expr parse_expression(const std::string& text) { return Parser(text).parse(); }
+Expr parse_expression(const std::string& text, std::size_t base_offset) {
+    return Parser(text, base_offset).parse();
+}
 
 }  // namespace arcade::expr

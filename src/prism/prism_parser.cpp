@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <map>
+#include <set>
 
 #include "support/errors.hpp"
 #include "support/strings.hpp"
@@ -76,8 +77,13 @@ public:
 
     /// Reads raw text up to (not including) the delimiter character,
     /// balancing parentheses so that e.g. ';' inside parens is skipped.
+    /// Byte offset where the most recent until()/until_arrow() slice began
+    /// — the base offset expression parsing stamps its nodes with.
+    [[nodiscard]] std::size_t last_offset() const noexcept { return last_offset_; }
+
     std::string until(char delim) {
         skip_ws();
+        last_offset_ = i_;
         std::size_t depth = 0;
         std::size_t j = i_;
         while (j < src_.size()) {
@@ -104,6 +110,7 @@ public:
     /// Needed for guards, where a bare '-' may be a subtraction.
     std::string until_arrow() {
         skip_ws();
+        last_offset_ = i_;
         std::size_t depth = 0;
         std::size_t j = i_;
         while (j < src_.size()) {
@@ -141,6 +148,7 @@ private:
     const std::string& src_;
     std::size_t i_ = 0;
     std::size_t line_ = 1;
+    std::size_t last_offset_ = 0;
 
     void advance(std::size_t n) {
         for (std::size_t k = 0; k < n && i_ < src_.size(); ++k, ++i_) {
@@ -162,28 +170,37 @@ private:
     }
 };
 
-/// Substitutes formula identifiers by their bodies (recursively).
-expr::Expr substitute(const expr::Expr& e,
-                      const std::map<std::string, expr::Expr>& formulas) {
+/// Substitutes formula identifiers by their bodies (recursively), recording
+/// which formulas were hit.  Rebuilt nodes keep the original's source
+/// offset; substituted bodies keep the offsets of their defining text.
+expr::Expr substitute(const expr::Expr& e, const std::map<std::string, expr::Expr>& formulas,
+                      std::set<std::string>& used) {
     using namespace expr;
     if (e.empty()) return e;
     const auto& n = e.node();
     if (const auto* id = std::get_if<Identifier>(&n)) {
         const auto it = formulas.find(id->name);
-        if (it != formulas.end()) return substitute(it->second, formulas);
+        if (it != formulas.end()) {
+            used.insert(id->name);
+            return substitute(it->second, formulas, used);
+        }
         return e;
     }
     if (std::get_if<Literal>(&n) != nullptr) return e;
     if (const auto* u = std::get_if<Unary>(&n)) {
-        return Expr::unary(u->op, substitute(u->operand, formulas));
+        return Expr::unary(u->op, substitute(u->operand, formulas, used))
+            .with_offset(e.offset());
     }
     if (const auto* b = std::get_if<Binary>(&n)) {
-        return Expr::binary(b->op, substitute(b->lhs, formulas), substitute(b->rhs, formulas));
+        return Expr::binary(b->op, substitute(b->lhs, formulas, used),
+                            substitute(b->rhs, formulas, used))
+            .with_offset(e.offset());
     }
     const auto& ite_node = std::get<Ite>(n);
-    return Expr::ite(substitute(ite_node.cond, formulas),
-                     substitute(ite_node.then_branch, formulas),
-                     substitute(ite_node.else_branch, formulas));
+    return Expr::ite(substitute(ite_node.cond, formulas, used),
+                     substitute(ite_node.then_branch, formulas, used),
+                     substitute(ite_node.else_branch, formulas, used))
+        .with_offset(e.offset());
 }
 
 /// Evaluates a constant expression against already-known constants.
@@ -205,10 +222,13 @@ private:
 
 }  // namespace
 
-modules::ModuleSystem parse_prism(const std::string& source) {
+modules::ModuleSystem parse_prism(const std::string& source, PrismParseInfo* info) {
     Scanner sc(source);
     modules::ModuleSystem system;
     std::map<std::string, expr::Expr> formulas;
+    std::map<std::string, std::size_t> formula_offsets;
+    std::map<std::string, std::vector<std::string>> formula_refs;
+    std::set<std::string> used_formulas;
     ConstEnv const_env(system.constants);
 
     if (!sc.accept("ctmc")) {
@@ -216,7 +236,8 @@ modules::ModuleSystem parse_prism(const std::string& source) {
     }
 
     auto parse_expr_text = [&](const std::string& text) {
-        return substitute(expr::parse_expression(text), formulas);
+        return substitute(expr::parse_expression(text, sc.last_offset()), formulas,
+                          used_formulas);
     };
 
     while (!sc.at_end()) {
@@ -248,8 +269,19 @@ modules::ModuleSystem parse_prism(const std::string& source) {
             const std::string name = sc.word();
             sc.expect("=");
             const std::string body = sc.until(';');
+            const std::size_t body_offset = sc.last_offset();
             sc.expect(";");
-            formulas.emplace(name, parse_expr_text(body));
+            // References between formulas are resolved at definition time
+            // (bodies are stored fully substituted), so record the raw
+            // dependency edges here — usage tracking closes over them.
+            const expr::Expr raw = expr::parse_expression(body, body_offset);
+            std::vector<std::string>& refs = formula_refs[name];
+            for (const auto& ref : raw.free_variables()) {
+                if (formulas.contains(ref)) refs.push_back(ref);
+            }
+            formula_offsets.emplace(name, body_offset);
+            std::set<std::string> definition_uses;  // not real uses
+            formulas.emplace(name, substitute(raw, formulas, definition_uses));
         } else if (kw == "module") {
             sc.word();
             modules::Module module;
@@ -348,6 +380,24 @@ modules::ModuleSystem parse_prism(const std::string& source) {
             system.rewards.push_back(std::move(decl));
         } else {
             sc.fail("unexpected keyword '" + kw + "'");
+        }
+    }
+    if (info != nullptr) {
+        // A formula is used when a real expression substituted it, or when a
+        // used formula's definition referenced it (transitively).
+        std::vector<std::string> work(used_formulas.begin(), used_formulas.end());
+        while (!work.empty()) {
+            const auto it = formula_refs.find(work.back());
+            work.pop_back();
+            if (it == formula_refs.end()) continue;
+            for (const auto& ref : it->second) {
+                if (used_formulas.insert(ref).second) work.push_back(ref);
+            }
+        }
+        for (const auto& [name, offset] : formula_offsets) {
+            if (!used_formulas.contains(name)) {
+                info->unused_formulas.emplace_back(name, offset);
+            }
         }
     }
     return system;

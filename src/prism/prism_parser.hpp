@@ -18,15 +18,32 @@
 #ifndef ARCADE_PRISM_PRISM_PARSER_HPP
 #define ARCADE_PRISM_PRISM_PARSER_HPP
 
+#include <cstddef>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "modules/modules.hpp"
 
 namespace arcade::prism {
 
+/// Side information the parser can report about the source (feeds lint
+/// checks that need source-level facts the ModuleSystem no longer carries,
+/// e.g. AR010 — formulas are substituted away during parsing).
+struct PrismParseInfo {
+    /// Formulas that no constant, guard, rate, assignment, bound, label or
+    /// reward references (directly, or through another referenced formula):
+    /// name + byte offset of the defining body in the source.
+    std::vector<std::pair<std::string, std::size_t>> unused_formulas;
+};
+
 /// Parses PRISM source text into a module system.  Throws arcade::ParseError
-/// with line information on malformed input.
-[[nodiscard]] modules::ModuleSystem parse_prism(const std::string& source);
+/// with line information on malformed input.  Every parsed expression is
+/// stamped with its byte offset in `source` (see expr::Expr::offset), so
+/// lint diagnostics can point into the file.  `info`, when given, receives
+/// the side facts described above.
+[[nodiscard]] modules::ModuleSystem parse_prism(const std::string& source,
+                                                PrismParseInfo* info = nullptr);
 
 }  // namespace arcade::prism
 

@@ -100,6 +100,8 @@ void write_csv(const SweepReport& report, const ScenarioGrid& grid, std::ostream
            << " property_hits=" << report.stats.property_hits
            << " property_misses=" << report.stats.property_misses
            << " reduction_ratio=" << fmt(report.stats.reduction_ratio())
+           << " lint_warnings=" << report.stats.lint_warnings
+           << " lint_errors=" << report.stats.lint_errors
            << " state_points=" << report.state_points
            << " states_per_sec=" << fmt(report.states_per_second())
            << " wall_seconds=" << fmt(report.wall_seconds) << "\n";
@@ -122,6 +124,8 @@ void write_json(const SweepReport& report, const ScenarioGrid& grid, std::ostrea
        << "    \"property_hits\": " << report.stats.property_hits << ",\n"
        << "    \"property_misses\": " << report.stats.property_misses << ",\n"
        << "    \"reduction_ratio\": " << fmt(report.stats.reduction_ratio()) << ",\n"
+       << "    \"lint_warnings\": " << report.stats.lint_warnings << ",\n"
+       << "    \"lint_errors\": " << report.stats.lint_errors << ",\n"
        << "    \"state_points\": " << report.state_points << ",\n"
        << "    \"states_per_second\": " << fmt(report.states_per_second()) << ",\n"
        << "    \"wall_seconds\": " << fmt(report.wall_seconds) << "\n  },\n"
