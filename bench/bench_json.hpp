@@ -1,0 +1,216 @@
+// Shared BENCH_engine.json maintenance for the perf harnesses.
+//
+// Every perf main lands its google-benchmark JSON in a temp file and merges
+// the run's benchmark entries into the shared trajectory file here.  Merging
+// is entry-level and keyed by (benchmark name, build_type, git_describe):
+// re-running a harness on the same commit and build type REPLACES its rows
+// in place instead of appending duplicates, while rows from other commits,
+// build types or harnesses are left untouched — the file stays one
+// append-only trajectory across commits with exactly one row per
+// (bench, config, commit) point.
+//
+// Provenance (build_type, git_describe) is injected into each new entry, so
+// every row carries its own identity; legacy rows without those fields never
+// match a merge key and are preserved as-is.
+#ifndef ARCADE_BENCH_JSON_HPP
+#define ARCADE_BENCH_JSON_HPP
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace bench {
+
+/// `git describe --always --dirty` of the working tree ("unknown" outside a
+/// repository or without git).
+inline std::string git_describe() {
+    std::string out;
+#if defined(_WIN32)
+    FILE* pipe = _popen("git describe --always --dirty 2>NUL", "r");
+#else
+    FILE* pipe = popen("git describe --always --dirty 2>/dev/null", "r");
+#endif
+    if (pipe != nullptr) {
+        char buf[256];
+        while (std::fgets(buf, sizeof buf, pipe) != nullptr) out += buf;
+#if defined(_WIN32)
+        _pclose(pipe);
+#else
+        pclose(pipe);
+#endif
+    }
+    while (!out.empty() &&
+           std::isspace(static_cast<unsigned char>(out.back())) != 0) {
+        out.pop_back();
+    }
+    return out.empty() ? "unknown" : out;
+}
+
+/// Splits the body of a JSON array into its top-level objects.  Quote- and
+/// escape-aware and brace-balanced, so names containing braces or quotes
+/// cannot derail the scan.
+inline std::vector<std::string> split_json_objects(const std::string& body) {
+    std::vector<std::string> entries;
+    int depth = 0;
+    bool in_string = false;
+    bool escaped = false;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i < body.size(); ++i) {
+        const char c = body[i];
+        if (in_string) {
+            if (escaped) escaped = false;
+            else if (c == '\\') escaped = true;
+            else if (c == '"') in_string = false;
+            continue;
+        }
+        if (c == '"') {
+            in_string = true;
+        } else if (c == '{') {
+            if (depth == 0) start = i;
+            ++depth;
+        } else if (c == '}') {
+            --depth;
+            if (depth == 0) entries.push_back(body.substr(start, i - start + 1));
+        }
+    }
+    return entries;
+}
+
+/// Value of a top-level string field of one serialised object ("" when
+/// absent or not a string).
+inline std::string json_string_field(const std::string& entry, const std::string& key) {
+    const std::string needle = "\"" + key + "\"";
+    std::size_t pos = 0;
+    while ((pos = entry.find(needle, pos)) != std::string::npos) {
+        std::size_t i = pos + needle.size();
+        while (i < entry.size() &&
+               std::isspace(static_cast<unsigned char>(entry[i])) != 0) {
+            ++i;
+        }
+        if (i >= entry.size() || entry[i] != ':') {
+            pos += needle.size();
+            continue;
+        }
+        ++i;
+        while (i < entry.size() &&
+               std::isspace(static_cast<unsigned char>(entry[i])) != 0) {
+            ++i;
+        }
+        if (i >= entry.size() || entry[i] != '"') return {};
+        std::string value;
+        for (++i; i < entry.size(); ++i) {
+            if (entry[i] == '\\' && i + 1 < entry.size()) {
+                value.push_back(entry[++i]);
+            } else if (entry[i] == '"') {
+                return value;
+            } else {
+                value.push_back(entry[i]);
+            }
+        }
+        return {};
+    }
+    return {};
+}
+
+/// The entry with a string field prepended right after its opening brace —
+/// unless the key is already present, in which case the entry is unchanged.
+inline std::string with_json_field(std::string entry, const std::string& key,
+                                   const std::string& value) {
+    if (!json_string_field(entry, key).empty()) return entry;
+    const auto brace = entry.find('{');
+    if (brace == std::string::npos) return entry;
+    std::string escaped;
+    for (const char c : value) {
+        if (c == '"' || c == '\\') escaped.push_back('\\');
+        escaped.push_back(c);
+    }
+    entry.insert(brace + 1, "\n      \"" + key + "\": \"" + escaped + "\",");
+    return entry;
+}
+
+/// Merge key of one benchmark entry: one row per (bench, config, commit).
+inline std::string merge_key(const std::string& entry) {
+    return json_string_field(entry, "name") + "\x1f" +
+           json_string_field(entry, "build_type") + "\x1f" +
+           json_string_field(entry, "git_describe");
+}
+
+/// Merges the benchmark entries of `addition_path` (a fresh google-benchmark
+/// JSON document) into `target_path`.  New entries are stamped with
+/// `build_type` and the current git describe, then replace any target entry
+/// with the same merge key (same bench, same build type, same commit) in
+/// place; unmatched entries append.  Returns false when either document does
+/// not look like a google-benchmark JSON document (the caller then leaves
+/// the temp file for inspection).
+inline bool merge_benchmarks(const std::string& target_path,
+                             const std::string& addition_path,
+                             const std::string& build_type) {
+    std::ifstream addition_in(addition_path);
+    if (!addition_in) return false;
+    std::stringstream addition_buf;
+    addition_buf << addition_in.rdbuf();
+    const std::string addition = addition_buf.str();
+
+    const std::string marker = "\"benchmarks\": [";
+    const auto a_begin = addition.find(marker);
+    const auto a_end = addition.rfind(']');
+    if (a_begin == std::string::npos || a_end == std::string::npos || a_end < a_begin) {
+        return false;
+    }
+    const std::string describe = git_describe();
+    std::vector<std::string> fresh = split_json_objects(
+        addition.substr(a_begin + marker.size(), a_end - a_begin - marker.size()));
+    for (auto& entry : fresh) {
+        entry = with_json_field(entry, "git_describe", describe);
+        entry = with_json_field(entry, "build_type", build_type);
+    }
+
+    std::vector<std::string> merged;
+    std::string prefix;
+    std::ifstream target_in(target_path);
+    if (target_in) {
+        std::stringstream target_buf;
+        target_buf << target_in.rdbuf();
+        const std::string target = target_buf.str();
+        const auto t_begin = target.find(marker);
+        const auto t_end = target.rfind(']');
+        if (t_begin == std::string::npos || t_end == std::string::npos ||
+            t_end < t_begin) {
+            return false;
+        }
+        prefix = target.substr(0, t_begin + marker.size());
+        merged = split_json_objects(
+            target.substr(t_begin + marker.size(), t_end - t_begin - marker.size()));
+    } else {
+        // No trajectory file yet: keep the fresh document's own context block.
+        prefix = addition.substr(0, a_begin + marker.size());
+    }
+
+    for (const auto& entry : fresh) {
+        const std::string key = merge_key(entry);
+        bool replaced = false;
+        for (auto& existing : merged) {
+            if (merge_key(existing) == key) {
+                existing = entry;
+                replaced = true;
+                break;
+            }
+        }
+        if (!replaced) merged.push_back(entry);
+    }
+
+    std::ofstream out(target_path);
+    out << prefix;
+    for (std::size_t i = 0; i < merged.size(); ++i) {
+        out << (i > 0 ? ",\n    " : "\n    ") << merged[i];
+    }
+    out << "\n  ]\n}\n";
+    return static_cast<bool>(out);
+}
+
+}  // namespace bench
+
+#endif  // ARCADE_BENCH_JSON_HPP

@@ -4,11 +4,14 @@
 // transient uniformisation, steady-state Gauss–Seidel, bounded until.
 //
 // Reports states/sec for construction and cache-hit counters for the
-// session benchmarks.  Unless --benchmark_out is given, results are also
-// written to BENCH_engine.json (the perf trajectory file).
+// session benchmarks.  Unless --benchmark_out is given, results are merged
+// into BENCH_engine.json (the perf trajectory file): same-(bench, build,
+// commit) rows are replaced in place, other rows are preserved — see
+// bench_json.hpp.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <tuple>
 #include <unordered_map>
@@ -20,6 +23,7 @@
 #include "arcade/measures.hpp"
 #include "arcade/modules_compiler.hpp"
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "ctmc/bounded_until.hpp"
 #include "ctmc/quotient.hpp"
 #include "ctmc/steady_state.hpp"
@@ -392,8 +396,10 @@ BENCHMARK(BM_SurvivabilityCurveLumped)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-// Custom main: default --benchmark_out=BENCH_engine.json so every run
-// contributes a machine-readable point to the perf trajectory.
+// Custom main: unless --benchmark_out is given, results land in a temp JSON
+// whose rows are merged into BENCH_engine.json, so every run contributes a
+// machine-readable point to the perf trajectory without duplicating (or,
+// as the old overwrite did, erasing) other harnesses' rows.
 int main(int argc, char** argv) {
     bench::warn_if_not_release();
     bool has_out = false;
@@ -403,7 +409,7 @@ int main(int argc, char** argv) {
             has_out = true;
         }
     }
-    static char out_flag[] = "--benchmark_out=BENCH_engine.json";
+    static char out_flag[] = "--benchmark_out=BENCH_perf.tmp.json";
     static char fmt_flag[] = "--benchmark_out_format=json";
     std::vector<char*> args(argv, argv + argc);
     if (!has_out) {
@@ -415,5 +421,14 @@ int main(int argc, char** argv) {
     if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
+    if (!has_out) {
+        if (bench::merge_benchmarks("BENCH_engine.json", "BENCH_perf.tmp.json",
+                                    bench::build_type())) {
+            std::remove("BENCH_perf.tmp.json");
+            std::printf("merged engine rows into BENCH_engine.json\n");
+        } else {
+            std::printf("left results in BENCH_perf.tmp.json (no merge target)\n");
+        }
+    }
     return 0;
 }

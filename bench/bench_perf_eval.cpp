@@ -7,22 +7,22 @@
 // between bitwise-identical computations — the speedup is pure evaluation
 // mechanics, never a numerics change (asserted by test_eval_rewire).
 //
-// Results are APPENDED into BENCH_engine.json via the same temp-JSON splice
-// the lumping harness uses, so the interp-vs-VM and scalar-vs-blocked rows
-// ride the perf trajectory file.  --benchmark_out overrides as usual.
+// Results are MERGED into BENCH_engine.json via the same temp-JSON merge
+// the lumping harness uses (bench_json.hpp: same-(bench, build, commit)
+// rows are replaced in place, never duplicated), so the interp-vs-VM and
+// scalar-vs-blocked rows ride the perf trajectory file.  --benchmark_out
+// overrides as usual.
 #include <benchmark/benchmark.h>
 
-#include <cctype>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <map>
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "arcade/modules_compiler.hpp"
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "expr/vm.hpp"
 #include "linalg/kernels.hpp"
 #include "modules/explorer.hpp"
@@ -138,52 +138,6 @@ BENCHMARK_CAPTURE(BM_UniformisedLeft, blocked, linalg::KernelMode::Blocked);
 BENCHMARK_CAPTURE(BM_UniformisedRight, scalar, linalg::KernelMode::Scalar);
 BENCHMARK_CAPTURE(BM_UniformisedRight, blocked, linalg::KernelMode::Blocked);
 
-/// Splices the "benchmarks" array entries of `addition` into `target`
-/// (google-benchmark JSON documents).  Returns false when either document
-/// does not look like one.
-bool append_benchmarks(const std::string& target_path, const std::string& addition_path) {
-    std::ifstream target_in(target_path);
-    std::ifstream addition_in(addition_path);
-    if (!addition_in) return false;
-    std::stringstream addition_buf;
-    addition_buf << addition_in.rdbuf();
-    const std::string addition = addition_buf.str();
-    if (!target_in) {
-        // No trajectory file yet: the new document becomes it.
-        std::ofstream out(target_path);
-        out << addition;
-        return static_cast<bool>(out);
-    }
-    std::stringstream target_buf;
-    target_buf << target_in.rdbuf();
-    std::string target = target_buf.str();
-    target_in.close();
-
-    const std::string marker = "\"benchmarks\": [";
-    const auto a_begin = addition.find(marker);
-    const auto a_end = addition.rfind(']');
-    const auto t_end = target.rfind(']');
-    if (a_begin == std::string::npos || a_end == std::string::npos ||
-        t_end == std::string::npos || target.find(marker) == std::string::npos) {
-        return false;
-    }
-    const auto trim = [](std::string s) {
-        while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())) != 0) {
-            s.pop_back();
-        }
-        return s;
-    };
-    const std::string entries = trim(addition.substr(a_begin + marker.size(),
-                                                     a_end - a_begin - marker.size()));
-    if (entries.empty()) return true;  // nothing to add
-    std::string prefix = trim(target.substr(0, t_end));
-    if (prefix.empty()) return false;
-    const bool empty_array = prefix.back() == '[';
-    std::ofstream out(target_path);
-    out << prefix << (empty_array ? "\n" : ",\n") << entries << "\n  ]\n}\n";
-    return static_cast<bool>(out);
-}
-
 }  // namespace
 
 // Custom main: unless --benchmark_out is given, results land in a temp JSON
@@ -211,9 +165,10 @@ int main(int argc, char** argv) {
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     if (!has_out) {
-        if (append_benchmarks("BENCH_engine.json", "BENCH_eval.tmp.json")) {
+        if (bench::merge_benchmarks("BENCH_engine.json", "BENCH_eval.tmp.json",
+                                    bench::build_type())) {
             std::remove("BENCH_eval.tmp.json");
-            std::printf("appended eval rows to BENCH_engine.json\n");
+            std::printf("merged eval rows into BENCH_engine.json\n");
         } else {
             std::printf("left results in BENCH_eval.tmp.json (no merge target)\n");
         }

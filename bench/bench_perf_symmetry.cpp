@@ -1,0 +1,131 @@
+// Symmetry-reduction benchmarks: compiling the water-treatment lines as
+// their symmetry quotients (ARCADE_SYMMETRY=auto semantics forced on) at
+// growing component counts.  Each row times the full compile — symmetry
+// detection, quotient exploration with per-emission canonicalisation, and
+// the orbit-accounting pass — and reports the explored (quotient) state
+// count, the exact full-chain count recovered from orbit sizes, and their
+// ratio.  At the paper scale the quotients land exactly on Table 1's
+// hand-lumped sizes (449 / 257); each extra spare pump multiplies the full
+// chain by ~6x while the quotient grows linearly.
+//
+// Results are MERGED into BENCH_engine.json like the other perf harnesses
+// (bench_json.hpp: same-(bench, build, commit) rows replaced in place).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "arcade/compiler.hpp"
+#include "bench_common.hpp"
+#include "bench_json.hpp"
+#include "watertree/watertree.hpp"
+
+namespace core = arcade::core;
+namespace wt = arcade::watertree;
+
+namespace {
+
+void run_symmetry_compile(benchmark::State& state, int line, std::size_t extra_pumps) {
+    bench::stamp_build_type(state);
+    const core::ArcadeModel model =
+        wt::line(line, wt::strategy("FRF-1"), {}, extra_pumps);
+    core::CompileOptions options;
+    options.encoding = core::Encoding::Individual;
+    options.symmetry = core::SymmetryPolicy::Auto;
+    std::size_t states = 0;
+    double full_states = 0.0;
+    double ratio = 1.0;
+    for (auto _ : state) {
+        const core::CompiledModel compiled = core::compile(model, options);
+        states = compiled.state_count();
+        full_states = compiled.symmetry_full_states();
+        ratio = compiled.symmetry_ratio();
+        benchmark::DoNotOptimize(states);
+    }
+    state.counters["states"] = static_cast<double>(states);
+    state.counters["full_states"] = full_states;
+    state.counters["reduction_ratio"] = ratio;
+    // Throughput over the states actually explored: the quotient is the
+    // chain the engine builds, so this is the honest states/sec figure.
+    state.counters["states/s"] = benchmark::Counter(
+        static_cast<double>(states), benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_SymmetryQuotientCompile(benchmark::State& state, int line,
+                                std::size_t extra_pumps) {
+    run_symmetry_compile(state, line, extra_pumps);
+}
+
+BENCHMARK_CAPTURE(BM_SymmetryQuotientCompile, l1_paper, 1, 0u)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SymmetryQuotientCompile, l1_pumps1, 1, 1u)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SymmetryQuotientCompile, l1_pumps3, 1, 3u)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SymmetryQuotientCompile, l2_paper, 2, 0u)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SymmetryQuotientCompile, l2_pumps3, 2, 3u)
+    ->Unit(benchmark::kMillisecond);
+
+/// The baseline the quotient replaces: the same compile with symmetry off
+/// (paper scale only — scaled full chains are exactly what the study
+/// avoids exploring).
+void BM_FullChainCompile(benchmark::State& state, int line) {
+    bench::stamp_build_type(state);
+    const core::ArcadeModel model = wt::line(line, wt::strategy("FRF-1"));
+    core::CompileOptions options;
+    options.encoding = core::Encoding::Individual;
+    options.symmetry = core::SymmetryPolicy::Off;
+    std::size_t states = 0;
+    for (auto _ : state) {
+        const core::CompiledModel compiled = core::compile(model, options);
+        states = compiled.state_count();
+        benchmark::DoNotOptimize(states);
+    }
+    state.counters["states"] = static_cast<double>(states);
+    state.counters["states/s"] = benchmark::Counter(
+        static_cast<double>(states), benchmark::Counter::kIsIterationInvariantRate);
+}
+
+BENCHMARK_CAPTURE(BM_FullChainCompile, l1_paper, 1)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_FullChainCompile, l2_paper, 2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+// Custom main: unless --benchmark_out is given, results land in a temp JSON
+// whose rows are merged into BENCH_engine.json, so the symmetry rows ride
+// the same perf-trajectory file as the engine benchmarks.
+int main(int argc, char** argv) {
+    bench::warn_if_not_release();
+    bool has_out = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0 ||
+            std::strcmp(argv[i], "--benchmark_out") == 0) {
+            has_out = true;
+        }
+    }
+    static char out_flag[] = "--benchmark_out=BENCH_symmetry.tmp.json";
+    static char fmt_flag[] = "--benchmark_out_format=json";
+    std::vector<char*> args(argv, argv + argc);
+    if (!has_out) {
+        args.push_back(out_flag);
+        args.push_back(fmt_flag);
+    }
+    int args_count = static_cast<int>(args.size());
+    benchmark::Initialize(&args_count, args.data());
+    if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    if (!has_out) {
+        if (bench::merge_benchmarks("BENCH_engine.json", "BENCH_symmetry.tmp.json",
+                                    bench::build_type())) {
+            std::remove("BENCH_symmetry.tmp.json");
+            std::printf("merged symmetry rows into BENCH_engine.json\n");
+        } else {
+            std::printf("left results in BENCH_symmetry.tmp.json (no merge target)\n");
+        }
+    }
+    return 0;
+}

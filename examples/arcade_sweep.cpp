@@ -11,7 +11,8 @@
 //
 //   arcade_sweep [--threads N] [--csv out.csv] [--json out.json]
 //                [--shard i/n] [--csv-footer] [--reduction off|auto]
-//                [--mttr-sweep] [--properties]
+//                [--symmetry off|auto] [--mttr-sweep] [--properties]
+//                [--pump-scaling N] [--list]
 //
 // --reduction auto analyses every scenario on the automatic
 // strong-bisimulation quotient of its model (see README, "The reduction
@@ -21,6 +22,14 @@
 // swaps in sweep::paper::properties() — the same evaluation with every
 // measure expressed as a CSL/CSRL formula (watertree::properties), checked
 // through the engine's property cache.
+//
+// --symmetry auto explores every model as its symmetry quotient over
+// interchangeable components (README, "Symmetry reduction"); --pump-scaling N
+// swaps in the state-space scaling study (0..N spare pumps per line) and
+// renders its Table-1-style report — symmetry defaults to auto there, since
+// the full chains are the thing the study avoids building.  --list prints the
+// expanded, deduplicated work list (item index, model variant, measure) of
+// whatever grid the other flags select and exits without running anything.
 //
 // --shard i/n runs only the i-th of n contiguous slices of the expanded
 // work list (1-based).  Slices are deterministic, disjoint and exhaustive;
@@ -50,7 +59,11 @@ int main(int argc, char** argv) {
     bool csv_footer = false;
     bool mttr_sweep = false;
     bool properties_sweep = false;
+    bool list_only = false;
+    int pump_scaling = -1;  // <0: not requested
     core::ReductionPolicy reduction = core::default_reduction_policy();
+    core::SymmetryPolicy symmetry = core::default_symmetry_policy();
+    bool symmetry_explicit = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         const bool has_value = i + 1 < argc;
@@ -79,6 +92,29 @@ int main(int argc, char** argv) {
             mttr_sweep = true;
         } else if (arg == "--properties") {
             properties_sweep = true;
+        } else if (arg == "--list") {
+            list_only = true;
+        } else if (arg == "--pump-scaling" && has_value) {
+            try {
+                pump_scaling = std::stoi(argv[++i]);
+                if (pump_scaling < 0) throw std::invalid_argument("negative");
+            } catch (const std::exception&) {
+                std::cerr << "arcade_sweep: --pump-scaling needs a non-negative "
+                             "number of extra pumps, got '" << argv[i] << "'\n";
+                return 2;
+            }
+        } else if (arg == "--symmetry" && has_value) {
+            const std::string value = argv[++i];
+            if (value == "off") {
+                symmetry = core::SymmetryPolicy::Off;
+            } else if (value == "auto") {
+                symmetry = core::SymmetryPolicy::Auto;
+            } else {
+                std::cerr << "arcade_sweep: --symmetry takes 'off' or 'auto', got '"
+                          << value << "'\n";
+                return 2;
+            }
+            symmetry_explicit = true;
         } else if (arg == "--reduction" && has_value) {
             const std::string value = argv[++i];
             if (value == "off") {
@@ -93,23 +129,42 @@ int main(int argc, char** argv) {
         } else {
             std::cerr << "usage: arcade_sweep [--threads N] [--csv PATH] [--json PATH] "
                          "[--shard i/n] [--csv-footer] [--reduction off|auto] "
-                         "[--mttr-sweep] [--properties]\n";
+                         "[--symmetry off|auto] [--mttr-sweep] [--properties] "
+                         "[--pump-scaling N] [--list]\n";
             return 2;
         }
     }
 
     using sweep::DisasterKind;
     using sweep::MeasureKind;
-    if (mttr_sweep && properties_sweep) {
-        std::cerr << "arcade_sweep: --mttr-sweep and --properties are exclusive\n";
+    if (static_cast<int>(mttr_sweep) + static_cast<int>(properties_sweep) +
+            static_cast<int>(pump_scaling >= 0) > 1) {
+        std::cerr << "arcade_sweep: --mttr-sweep, --properties and --pump-scaling "
+                     "are exclusive\n";
         return 2;
     }
-    const auto grid = mttr_sweep        ? sweep::studies::mttr_sensitivity()
-                      : properties_sweep ? sweep::paper::properties()
-                                         : sweep::paper::everything();
+    const auto grid =
+        mttr_sweep         ? sweep::studies::mttr_sensitivity()
+        : properties_sweep ? sweep::paper::properties()
+        : pump_scaling >= 0
+            ? sweep::studies::pump_scaling(static_cast<std::size_t>(pump_scaling))
+            : sweep::paper::everything();
+    // The scaling study exists to avoid the full chains: default it to the
+    // quotient unless the user explicitly asked for the unreduced run.
+    if (pump_scaling >= 0 && !symmetry_explicit) symmetry = core::SymmetryPolicy::Auto;
+
+    if (list_only) {
+        const auto items = sweep::shard_slice(sweep::expand(grid), shard);
+        for (const auto& item : items) {
+            std::cout << item.index << "\t" << item.model_key() << "\t"
+                      << sweep::to_string(item.measure.kind) << "\n";
+        }
+        std::cout << "# " << items.size() << " work items\n";
+        return 0;
+    }
 
     sweep::SweepRunner runner(arcade::engine::AnalysisSession::global(),
-                              {threads, shard, reduction});
+                              {threads, shard, reduction, symmetry});
     const auto report = runner.run(grid);
 
     if (shard.is_sharded()) {
@@ -120,6 +175,8 @@ int main(int argc, char** argv) {
                   << " work items\n";
     } else if (mttr_sweep) {
         sweep::studies::render_mttr_sensitivity(report, grid, std::cout);
+    } else if (pump_scaling >= 0) {
+        sweep::studies::render_pump_scaling(report, grid, std::cout);
     } else if (properties_sweep) {
         sweep::paper::render_properties(report, grid, std::cout);
     } else {
@@ -187,6 +244,13 @@ int main(int argc, char** argv) {
                   << report.stats.lump_states_in << " states -> "
                   << report.stats.lump_states_out << " blocks (";
         std::snprintf(buf, sizeof buf, "%.1fx", report.stats.reduction_ratio());
+        std::cout << buf << ")\n";
+    }
+    if (symmetry == core::SymmetryPolicy::Auto) {
+        std::cout << "# symmetry: " << report.stats.symmetry_states_in
+                  << " full states -> " << report.stats.symmetry_states_out
+                  << " orbit representatives (";
+        std::snprintf(buf, sizeof buf, "%.1fx", report.stats.symmetry_ratio());
         std::cout << buf << ")\n";
     }
     if (properties_sweep) {

@@ -1,6 +1,7 @@
 #include "arcade/compiler.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -642,23 +643,73 @@ private:
     State current_;
 };
 
+/// Orbit structure of the individual encoding: every lumped group with two
+/// or more members is a set of interchangeable components (same failure and
+/// repair rates, same phase, same repair class), and permuting the members'
+/// (status, rank) field pairs is a chain automorphism — ranks are unique
+/// among waiting components of a repair class and the queue discipline
+/// treats class members only by rank, so a swap relabels states without
+/// changing any rate, service level or cost.  The lumped encoding's counter
+/// fields carry no such permutation, so its orbit set is empty (trivial).
+std::shared_ptr<const engine::StateSymmetry> make_state_symmetry(
+    const ArcadeModel& model, const Plan& plan, Encoding encoding,
+    SymmetryPolicy policy) {
+    if (policy != SymmetryPolicy::Auto || encoding != Encoding::Individual) {
+        return nullptr;
+    }
+    const std::size_t n = model.components.size();
+    std::vector<engine::SymmetryOrbit> orbits;
+    for (const auto& group : plan.groups) {
+        if (group.members.size() < 2) continue;
+        engine::SymmetryOrbit orbit;
+        for (const std::size_t c : group.members) {
+            orbit.instances.push_back({c, n + c});
+        }
+        orbits.push_back(std::move(orbit));
+    }
+    if (orbits.empty()) return nullptr;
+    return std::make_shared<const engine::StateSymmetry>(std::move(orbits));
+}
+
 template <typename Encoder>
 CompiledModel run_compile(const ArcadeModel& model, const Plan& plan, Encoder encoder,
                           Encoding encoding, const CompileOptions& options) {
-    (void)plan;
     const engine::StateLayout layout(encoder.layout());
     const State initial16 = encoder.initial();
     const std::size_t fields = initial16.size();
     std::vector<std::int64_t> initial(initial16.begin(), initial16.end());
 
+    const std::shared_ptr<const engine::StateSymmetry> symmetry =
+        make_state_symmetry(model, plan, encoding, options.symmetry);
+
     engine::EngineOptions engine_options;
     engine_options.max_states = options.max_states;
     engine_options.threads = options.threads;
+    engine_options.symmetry = symmetry.get();
     auto explored = engine::explore_bfs(
         layout, initial, [&] { return EncoderWorker<Encoder>(encoder, fields); },
         engine_options);
     engine::StateStore store = std::move(explored.store);
     const std::size_t n = store.size();
+
+    // Orbit accounting: the full-chain state count is the sum of orbit
+    // sizes over the explored representatives (exact — the automorphism
+    // group fixes the initial state, so the full reachable set is the
+    // disjoint union of these orbits).
+    double full_states = static_cast<double>(n);
+    double symmetry_seconds = 0.0;
+    if (symmetry != nullptr && !symmetry->trivial()) {
+        const auto t0 = std::chrono::steady_clock::now();
+        full_states = 0.0;
+        std::vector<std::int64_t> values(fields);
+        for (std::size_t s = 0; s < n; ++s) {
+            store.unpack(s, std::span<std::int64_t>(values));
+            full_states += symmetry->orbit_size(values);
+        }
+        symmetry_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                .count();
+    }
 
     linalg::CsrBuilder builder(n, n);
     for (const auto& t : explored.transitions) {
@@ -707,7 +758,8 @@ CompiledModel run_compile(const ArcadeModel& model, const Plan& plan, Encoder en
 
     return CompiledModel(std::move(chain), std::move(service),
                          rewards::RewardStructure("cost", std::move(cost)), model,
-                         std::move(store), encoding, options.reduction);
+                         std::move(store), encoding, options.reduction,
+                         options.symmetry, symmetry, full_states, symmetry_seconds);
 }
 
 }  // namespace
@@ -715,14 +767,20 @@ CompiledModel run_compile(const ArcadeModel& model, const Plan& plan, Encoder en
 CompiledModel::CompiledModel(ctmc::Ctmc chain, std::vector<double> service,
                              rewards::RewardStructure cost, ArcadeModel model,
                              engine::StateStore store, Encoding encoding,
-                             ReductionPolicy reduction)
+                             ReductionPolicy reduction, SymmetryPolicy symmetry,
+                             std::shared_ptr<const engine::StateSymmetry> state_symmetry,
+                             double symmetry_full_states, double symmetry_seconds)
     : chain_(std::move(chain)),
       service_(std::move(service)),
       cost_(std::move(cost)),
       model_(std::move(model)),
       store_(std::move(store)),
       encoding_(encoding),
-      reduction_(reduction) {}
+      reduction_(reduction),
+      symmetry_(symmetry),
+      state_symmetry_(std::move(state_symmetry)),
+      symmetry_full_states_(symmetry_full_states),
+      symmetry_seconds_(symmetry_seconds) {}
 
 std::string service_label(double level) {
     char buf[40];
@@ -774,7 +832,14 @@ std::vector<bool> CompiledModel::total_failure_states() const {
 
 std::size_t CompiledModel::lookup(const std::vector<std::int16_t>& encoded) const {
     std::vector<std::uint64_t> packed(store_.layout().words_per_state());
-    store_.layout().pack(std::span<const std::int16_t>(encoded), packed.data());
+    if (symmetry_reduced()) {
+        // Only orbit representatives are interned; canonicalise first.
+        std::vector<std::int64_t> values(encoded.begin(), encoded.end());
+        state_symmetry_->canonicalize(values);
+        store_.layout().pack(std::span<const std::int64_t>(values), packed.data());
+    } else {
+        store_.layout().pack(std::span<const std::int16_t>(encoded), packed.data());
+    }
     const std::size_t index = store_.find(packed.data());
     if (index == SIZE_MAX) {
         throw ModelError("encoded state is not reachable in the compiled model");

@@ -32,6 +32,7 @@
 #include "ctmc/ctmc.hpp"
 #include "ctmc/quotient.hpp"
 #include "engine/state_store.hpp"
+#include "engine/symmetry.hpp"
 #include "rewards/rewards.hpp"
 
 namespace arcade::core {
@@ -52,6 +53,17 @@ enum class ReductionPolicy { Off, Auto };
 /// Lets CI force the whole test suite through the reduction layer.
 [[nodiscard]] ReductionPolicy default_reduction_policy();
 
+/// Whether compilation explores the symmetry quotient directly (engine
+/// on-the-fly reduction) instead of the full chain.  Under Auto the
+/// compiler detects interchangeable component groups (same rates, same
+/// phase, same repair class — the replicated pump/filter copies) and
+/// canonicalises every explored state to its orbit representative, so the
+/// full chain is never materialised.  The quotient is an exact ordinary
+/// lumping; it composes with ReductionPolicy (symmetry first, splitter-
+/// queue refinement on the residual).  See engine/symmetry.hpp.
+using engine::SymmetryPolicy;
+using engine::default_symmetry_policy;
+
 /// Name of the chain label marking states with service level >= `level`
 /// (within the library-wide 1e-9 tolerance): "service>=<level>", the level
 /// printed round-trip exact (%.17g).  The compiler registers one such label
@@ -67,6 +79,8 @@ struct CompileOptions {
     unsigned threads = 0;
     /// Run analyses on the lumped quotient of the compiled chain?
     ReductionPolicy reduction = default_reduction_policy();
+    /// Explore the symmetry quotient directly (ARCADE_SYMMETRY=off|auto)?
+    SymmetryPolicy symmetry = default_symmetry_policy();
     /// Model linter stage (analysis/lint.hpp), run on the reactive-modules
     /// translation before exploration.  Warn reports findings to stderr;
     /// Error additionally throws ModelError when any error-severity finding
@@ -90,7 +104,10 @@ public:
     CompiledModel(ctmc::Ctmc chain, std::vector<double> service,
                   rewards::RewardStructure cost, ArcadeModel model,
                   engine::StateStore store, Encoding encoding,
-                  ReductionPolicy reduction = ReductionPolicy::Off);
+                  ReductionPolicy reduction = ReductionPolicy::Off,
+                  SymmetryPolicy symmetry = SymmetryPolicy::Off,
+                  std::shared_ptr<const engine::StateSymmetry> state_symmetry = nullptr,
+                  double symmetry_full_states = 0.0, double symmetry_seconds = 0.0);
 
     [[nodiscard]] const ctmc::Ctmc& chain() const noexcept { return chain_; }
     [[nodiscard]] ctmc::Ctmc& chain() noexcept { return chain_; }
@@ -118,6 +135,38 @@ public:
     [[nodiscard]] const ArcadeModel& model() const noexcept { return model_; }
     [[nodiscard]] Encoding encoding() const noexcept { return encoding_; }
     [[nodiscard]] ReductionPolicy reduction() const noexcept { return reduction_; }
+    [[nodiscard]] SymmetryPolicy symmetry() const noexcept { return symmetry_; }
+
+    /// True when the chain is a symmetry quotient over nontrivial orbits
+    /// (policy Auto and at least one interchangeable group of size >= 2).
+    [[nodiscard]] bool symmetry_reduced() const noexcept {
+        return state_symmetry_ != nullptr && !state_symmetry_->trivial();
+    }
+
+    /// Exact state count of the full (unreduced) chain: the sum of orbit
+    /// sizes over the explored representatives — recovered without ever
+    /// materialising the full chain (engine/symmetry.hpp explains why this
+    /// is exact).  Equals state_count() when no symmetry was applied.
+    [[nodiscard]] double symmetry_full_states() const noexcept {
+        return symmetry_reduced() ? symmetry_full_states_
+                                  : static_cast<double>(state_count());
+    }
+
+    /// full states / quotient states (1.0 when symmetry is off/trivial).
+    [[nodiscard]] double symmetry_ratio() const noexcept {
+        return state_count() == 0
+                   ? 1.0
+                   : symmetry_full_states() / static_cast<double>(state_count());
+    }
+
+    /// Wall seconds of the post-exploration orbit accounting pass (the
+    /// canonicalisation machinery outside the BFS hot path); 0 when off.
+    [[nodiscard]] double symmetry_seconds() const noexcept { return symmetry_seconds_; }
+
+    /// The detected orbit structure (null when symmetry is off or trivial).
+    [[nodiscard]] const engine::StateSymmetry* state_symmetry() const noexcept {
+        return state_symmetry_.get();
+    }
 
     /// Findings of the lint stage that compiled this model (0/0 when the
     /// stage was off or the model has no reactive-modules translation).
@@ -175,6 +224,10 @@ private:
     engine::StateStore store_;
     Encoding encoding_;
     ReductionPolicy reduction_ = ReductionPolicy::Off;
+    SymmetryPolicy symmetry_ = SymmetryPolicy::Off;
+    std::shared_ptr<const engine::StateSymmetry> state_symmetry_;
+    double symmetry_full_states_ = 0.0;
+    double symmetry_seconds_ = 0.0;
     int lint_warnings_ = 0;
     int lint_errors_ = 0;
     /// Lazy quotient cache.  The mutex lives behind a shared_ptr so the

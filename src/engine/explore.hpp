@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "engine/state_store.hpp"
+#include "engine/symmetry.hpp"
 #include "support/errors.hpp"
 
 namespace arcade::engine {
@@ -39,6 +40,12 @@ struct EngineOptions {
     std::size_t max_states = 50'000'000;  ///< explosion guard
     /// Worker threads; 0 means std::thread::hardware_concurrency().
     unsigned threads = 0;
+    /// On-the-fly symmetry reduction: when non-null (and nontrivial), the
+    /// initial state and every emitted target are canonicalised to their
+    /// orbit representative before interning, so the explored chain is the
+    /// symmetry quotient.  The pointee must outlive the exploration; the
+    /// caller is responsible for the orbits being genuine automorphisms.
+    const StateSymmetry* symmetry = nullptr;
 };
 
 /// Result of an exploration: interned states (index order = BFS discovery
@@ -71,8 +78,19 @@ Explored explore_bfs(const StateLayout& layout, std::span<const std::int64_t> in
     const std::size_t wps = layout.words_per_state();
     const std::size_t fields = layout.field_count();
 
+    const StateSymmetry* symmetry =
+        (options.symmetry != nullptr && !options.symmetry->trivial())
+            ? options.symmetry
+            : nullptr;
+
     std::vector<std::uint64_t> packed(wps);
-    layout.pack(initial, packed.data());
+    if (symmetry != nullptr) {
+        std::vector<std::int64_t> canonical(initial.begin(), initial.end());
+        symmetry->canonicalize(canonical);
+        layout.pack(std::span<const std::int64_t>(canonical), packed.data());
+    } else {
+        layout.pack(initial, packed.data());
+    }
     store.intern(packed.data());
 
     const unsigned threads = resolve_threads(options.threads);
@@ -99,13 +117,30 @@ Explored explore_bfs(const StateLayout& layout, std::span<const std::int64_t> in
         decltype(make_worker()) worker;
         std::vector<std::int64_t> values;
         std::vector<std::uint64_t> packed;
+        std::vector<std::int64_t> canonical;  // scratch for symmetry reduction
     };
     std::vector<WorkerState> workers;
     workers.reserve(threads);
     for (unsigned t = 0; t < threads; ++t) {
         workers.push_back(WorkerState{make_worker(), std::vector<std::int64_t>(fields),
-                                      std::vector<std::uint64_t>(wps)});
+                                      std::vector<std::uint64_t>(wps),
+                                      std::vector<std::int64_t>(fields)});
     }
+
+    // Packs `target` into w.packed, canonicalising to the orbit
+    // representative first when symmetry reduction is on.  Identical in the
+    // inline and sharded paths, so numbering stays thread-count-invariant.
+    const auto pack_target = [&layout, fields, symmetry](WorkerState& w, auto target) {
+        if (symmetry != nullptr) {
+            for (std::size_t i = 0; i < fields; ++i) {
+                w.canonical[i] = static_cast<std::int64_t>(target[i]);
+            }
+            symmetry->canonicalize(std::span<std::int64_t>(w.canonical));
+            layout.pack(std::span<const std::int64_t>(w.canonical), w.packed.data());
+        } else {
+            layout.pack(target, w.packed.data());
+        }
+    };
 
     // Levels smaller than this per thread are not worth a thread
     // create/join cycle; they run inline on the calling thread.
@@ -130,7 +165,7 @@ Explored explore_bfs(const StateLayout& layout, std::span<const std::int64_t> in
                          [&](auto target, double rate) {
                              if (rate < 0.0) throw ModelError("negative transition rate");
                              if (rate == 0.0) return;
-                             layout.pack(target, w.packed.data());
+                             pack_target(w, target);
                              const auto [index, inserted] = store.intern(w.packed.data());
                              if (inserted) check_explosion(store.size());
                              result.transitions.push_back(Transition{si, index, rate});
@@ -164,7 +199,7 @@ Explored explore_bfs(const StateLayout& layout, std::span<const std::int64_t> in
                                      throw ModelError("negative transition rate");
                                  }
                                  if (rate == 0.0) return;
-                                 layout.pack(target, w.packed.data());
+                                 pack_target(w, target);
                                  shard.words.insert(shard.words.end(), w.packed.begin(),
                                                     w.packed.end());
                                  shard.rates.push_back(rate);

@@ -41,13 +41,14 @@ private:
 
 std::uint64_t options_key(std::uint64_t model_fp, std::uint64_t encoding,
                           std::size_t max_states, std::uint64_t reduction,
-                          std::uint64_t lint = 0) {
+                          std::uint64_t lint = 0, std::uint64_t symmetry = 0) {
     Fingerprinter fp(0);
     fp.mix(model_fp);
     fp.mix(encoding);
     fp.mix(max_states);
     fp.mix(reduction);
     fp.mix(lint);
+    fp.mix(symmetry);
     return fp.value();
 }
 
@@ -145,12 +146,14 @@ AnalysisSession::CompiledPtr AnalysisSession::compile(const core::ArcadeModel& m
     const std::uint64_t key = options_key(
         fingerprint(model), static_cast<std::uint64_t>(options.encoding), options.max_states,
         static_cast<std::uint64_t>(options.reduction),
-        static_cast<std::uint64_t>(options.lint));
+        static_cast<std::uint64_t>(options.lint),
+        static_cast<std::uint64_t>(options.symmetry));
     const std::uint64_t check = options_key(fingerprint(model, /*seed=*/1),
                                             static_cast<std::uint64_t>(options.encoding),
                                             options.max_states,
                                             static_cast<std::uint64_t>(options.reduction),
-                                            static_cast<std::uint64_t>(options.lint));
+                                            static_cast<std::uint64_t>(options.lint),
+                                            static_cast<std::uint64_t>(options.symmetry));
     {
         std::lock_guard<std::mutex> lock(mutex_);
         const auto it = compiled_.find(key);
@@ -172,16 +175,24 @@ AnalysisSession::CompiledPtr AnalysisSession::compile(const core::ArcadeModel& m
     ++stats_.compile_misses;
     stats_.lint_warnings += static_cast<std::size_t>(entry.value->lint_warnings());
     stats_.lint_errors += static_cast<std::size_t>(entry.value->lint_errors());
+    if (entry.value->symmetry_reduced()) {
+        stats_.symmetry_states_in +=
+            static_cast<std::size_t>(entry.value->symmetry_full_states() + 0.5);
+        stats_.symmetry_states_out += entry.value->state_count();
+        stats_.symmetry_seconds += entry.value->symmetry_seconds();
+    }
     return entry.value;
 }
 
 AnalysisSession::ExploredPtr AnalysisSession::explore(const modules::ModuleSystem& system,
                                                       const modules::ExploreOptions& options) {
     const std::uint64_t key =
-        options_key(fingerprint(system), 0, options.max_states, /*reduction=*/0);
+        options_key(fingerprint(system), 0, options.max_states, /*reduction=*/0,
+                    /*lint=*/0, static_cast<std::uint64_t>(options.symmetry));
     const std::uint64_t check =
         options_key(fingerprint(system, /*seed=*/1), 0, options.max_states,
-                    /*reduction=*/0);
+                    /*reduction=*/0, /*lint=*/0,
+                    static_cast<std::uint64_t>(options.symmetry));
     {
         std::lock_guard<std::mutex> lock(mutex_);
         const auto it = explored_.find(key);
@@ -200,6 +211,12 @@ AnalysisSession::ExploredPtr AnalysisSession::explore(const modules::ModuleSyste
     }
     entry = {check, std::move(fresh)};
     ++stats_.explore_misses;
+    if (entry.value->symmetry_reduced) {
+        stats_.symmetry_states_in +=
+            static_cast<std::size_t>(entry.value->symmetry_full_states + 0.5);
+        stats_.symmetry_states_out += entry.value->state_count();
+        stats_.symmetry_seconds += entry.value->symmetry_seconds;
+    }
     return entry.value;
 }
 

@@ -64,6 +64,17 @@ struct SessionStats {
     /// the stage ran once per model.
     std::size_t lint_warnings = 0;
     std::size_t lint_errors = 0;
+    /// On-the-fly symmetry reduction, aggregated over compile/explore misses
+    /// whose model carried nontrivial orbits: full-chain states that were
+    /// never materialised (recovered exactly from orbit sizes) vs orbit
+    /// representatives actually explored, plus the wall seconds spent in the
+    /// orbit-accounting pass.  symmetry_states_in / symmetry_states_out is
+    /// the aggregate quotient ratio — next to the lump counters because the
+    /// two reductions compose (symmetry during exploration, splitter-queue
+    /// refinement on the residual).
+    std::size_t symmetry_states_in = 0;
+    std::size_t symmetry_states_out = 0;
+    double symmetry_seconds = 0.0;
 
     /// Aggregate state-space reduction achieved by lumping (>= 1; 1.0 when
     /// nothing was lumped).
@@ -71,6 +82,14 @@ struct SessionStats {
         return lump_states_out > 0 ? static_cast<double>(lump_states_in) /
                                          static_cast<double>(lump_states_out)
                                    : 1.0;
+    }
+
+    /// Aggregate reduction achieved by on-the-fly symmetry (>= 1; 1.0 when
+    /// no model was symmetry-reduced).
+    [[nodiscard]] double symmetry_ratio() const noexcept {
+        return symmetry_states_out > 0 ? static_cast<double>(symmetry_states_in) /
+                                             static_cast<double>(symmetry_states_out)
+                                       : 1.0;
     }
 };
 
@@ -92,7 +111,10 @@ struct SessionStats {
                         after.property_hits - before.property_hits,
                         after.property_misses - before.property_misses,
                         after.lint_warnings - before.lint_warnings,
-                        after.lint_errors - before.lint_errors};
+                        after.lint_errors - before.lint_errors,
+                        after.symmetry_states_in - before.symmetry_states_in,
+                        after.symmetry_states_out - before.symmetry_states_out,
+                        after.symmetry_seconds - before.symmetry_seconds};
 }
 
 /// Structural fingerprint of a model (stable across identical rebuilds of

@@ -19,6 +19,7 @@
 
 #include "ctmc/ctmc.hpp"
 #include "engine/state_store.hpp"
+#include "engine/symmetry.hpp"
 #include "expr/vm.hpp"
 #include "modules/modules.hpp"
 #include "rewards/rewards.hpp"
@@ -34,6 +35,12 @@ struct ExploreOptions {
     /// tree interpreter (ARCADE_EVAL=interp, or set explicitly here) is the
     /// oracle — both produce bitwise-identical chains.
     expr::EvalMode eval = expr::default_eval_mode();
+    /// On-the-fly symmetry reduction (ARCADE_SYMMETRY=off|auto): under Auto
+    /// the explorer runs modules::analyze_symmetry and explores the orbit
+    /// quotient directly whenever interchangeable module instances are
+    /// proven (see modules/symmetry.hpp); labels and rewards are evaluated
+    /// on the orbit representatives, which the analysis guarantees is exact.
+    engine::SymmetryPolicy symmetry = engine::default_symmetry_policy();
 };
 
 /// Result of exploring a module system.
@@ -42,6 +49,13 @@ struct ExploredModel {
     std::vector<std::string> variable_names;  ///< flattened declaration order
     engine::StateStore store;                 ///< packed valuation per state index
     std::map<std::string, rewards::RewardStructure> reward_structures;
+    /// True when the chain is the symmetry quotient over nontrivial orbits.
+    bool symmetry_reduced = false;
+    /// Exact full-chain state count recovered from orbit sizes (equals
+    /// state_count() when no symmetry was applied); wall seconds of the
+    /// post-exploration orbit accounting pass.
+    double symmetry_full_states = 0.0;
+    double symmetry_seconds = 0.0;
 
     [[nodiscard]] std::size_t state_count() const noexcept { return store.size(); }
 

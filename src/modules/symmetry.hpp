@@ -1,0 +1,66 @@
+// Compile-time symmetry analysis over a ModuleSystem: groups module
+// instances whose guard/rate/assignment programs are identical up to a
+// renaming of the instance's own variables — the replicated pump/filter
+// copies of the watertree translation are symmetric by construction.
+//
+// Detection is conservative (a claimed orbit is always a genuine chain
+// automorphism group; a missed one only costs reduction):
+//
+//   1. Candidate modules use only interleaved (unsynchronised) commands
+//      that read and write the module's own variables and system constants.
+//   2. Candidates are grouped by a *template*: the module serialised with
+//      its k-th own variable renamed to a positional placeholder — equal
+//      templates mean identical programs up to renaming (same variable
+//      ranges and initial values included, so the initial state is fixed by
+//      every swap).
+//   3. Every adjacent transposition of a group (swap instance i's variables
+//      with instance i+1's, positionally) must leave the *rest* of the
+//      system invariant: labels, reward items and the other modules'
+//      commands are compared as normalised forms in which chains of
+//      commutative-associative operators (+, *, &, |, min, max — and the
+//      symmetric comparisons =, !=) are flattened and sorted, so the usual
+//      symmetric idioms (`p1+p2+p3 >= 2`) are recognised as invariant.
+//      Adjacent transpositions generate the full symmetric group, so the
+//      checked generators prove invariance under every permutation.
+//
+// The resulting orbits translate into an engine::StateSymmetry over the
+// flattened variable layout (state_symmetry), which explore() hands to
+// explore_bfs so the explored chain is the symmetry quotient.
+#ifndef ARCADE_MODULES_SYMMETRY_HPP
+#define ARCADE_MODULES_SYMMETRY_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "engine/symmetry.hpp"
+#include "modules/modules.hpp"
+
+namespace arcade::modules {
+
+/// One group of interchangeable module instances (indices into
+/// ModuleSystem::modules, ascending, size >= 2).
+struct ModuleOrbit {
+    std::vector<std::size_t> modules;
+};
+
+/// Result of the symmetry analysis.
+struct SymmetryAnalysis {
+    std::vector<ModuleOrbit> orbits;
+
+    [[nodiscard]] bool trivial() const noexcept { return orbits.empty(); }
+
+    /// The engine-level canonicalizer over the flattened variable order
+    /// (ModuleSystem::all_variables): instance j of an orbit is the
+    /// contiguous field range of that module's variables.  `system` must be
+    /// the system the analysis was computed for.
+    [[nodiscard]] engine::StateSymmetry state_symmetry(const ModuleSystem& system) const;
+};
+
+/// Detects interchangeable module instances (see the header comment for the
+/// exact soundness argument).  Never throws on well-formed systems; modules
+/// outside the conservative fragment simply stay unreduced.
+[[nodiscard]] SymmetryAnalysis analyze_symmetry(const ModuleSystem& system);
+
+}  // namespace arcade::modules
+
+#endif  // ARCADE_MODULES_SYMMETRY_HPP

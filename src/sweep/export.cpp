@@ -25,6 +25,16 @@ bool has_property(const ScenarioGrid& grid) {
     return false;
 }
 
+/// Does the grid sweep component scales?  Like has_property, decided from
+/// the grid so every shard agrees; unscaled grids keep the original schema
+/// byte for byte.
+bool has_scale(const ScenarioGrid& grid) {
+    for (const auto& s : grid.scales) {
+        if (!s.is_default()) return true;
+    }
+    return false;
+}
+
 }  // namespace
 
 std::string json_escape(const std::string& s) {
@@ -63,9 +73,11 @@ void write_csv(const SweepReport& report, const ScenarioGrid& grid, std::ostream
     // formula, so rows stay self-describing (two formulas in one grid are
     // otherwise indistinguishable).
     const bool property_column = has_property(grid);
+    const bool scale_column = has_scale(grid);
     if (options.header) {
         os << "line,strategy,parameters,variant,measure,disaster,service_level,t,value";
         if (property_column) os << ",property";
+        if (scale_column) os << ",scale";
         os << "\n";
     }
     for (const auto& r : report.results) {
@@ -77,8 +89,9 @@ void write_csv(const SweepReport& report, const ScenarioGrid& grid, std::ostream
             to_string(m.kind) + "," +
             to_string(m.disaster) + "," +
             (m.kind == MeasureKind::Survivability ? fmt(m.service_level) : "") + ",";
-        const std::string suffix =
+        std::string suffix =
             property_column ? "," + csv_field(m.property) : std::string();
+        if (scale_column) suffix += "," + csv_field(r.item.scale.name);
         if (m.is_series()) {
             for (std::size_t i = 0; i < r.values.size(); ++i) {
                 os << prefix << fmt(m.times[i]) << "," << fmt(r.values[i]) << suffix
@@ -100,6 +113,10 @@ void write_csv(const SweepReport& report, const ScenarioGrid& grid, std::ostream
            << " property_hits=" << report.stats.property_hits
            << " property_misses=" << report.stats.property_misses
            << " reduction_ratio=" << fmt(report.stats.reduction_ratio())
+           << " symmetry_states_in=" << report.stats.symmetry_states_in
+           << " symmetry_states_out=" << report.stats.symmetry_states_out
+           << " symmetry_ratio=" << fmt(report.stats.symmetry_ratio())
+           << " symmetry_seconds=" << fmt(report.stats.symmetry_seconds)
            << " lint_warnings=" << report.stats.lint_warnings
            << " lint_errors=" << report.stats.lint_errors
            << " state_points=" << report.state_points
@@ -124,12 +141,17 @@ void write_json(const SweepReport& report, const ScenarioGrid& grid, std::ostrea
        << "    \"property_hits\": " << report.stats.property_hits << ",\n"
        << "    \"property_misses\": " << report.stats.property_misses << ",\n"
        << "    \"reduction_ratio\": " << fmt(report.stats.reduction_ratio()) << ",\n"
+       << "    \"symmetry_states_in\": " << report.stats.symmetry_states_in << ",\n"
+       << "    \"symmetry_states_out\": " << report.stats.symmetry_states_out << ",\n"
+       << "    \"symmetry_ratio\": " << fmt(report.stats.symmetry_ratio()) << ",\n"
+       << "    \"symmetry_seconds\": " << fmt(report.stats.symmetry_seconds) << ",\n"
        << "    \"lint_warnings\": " << report.stats.lint_warnings << ",\n"
        << "    \"lint_errors\": " << report.stats.lint_errors << ",\n"
        << "    \"state_points\": " << report.state_points << ",\n"
        << "    \"states_per_second\": " << fmt(report.states_per_second()) << ",\n"
        << "    \"wall_seconds\": " << fmt(report.wall_seconds) << "\n  },\n"
        << "  \"results\": [\n";
+    const bool scale_field = has_scale(grid);
     for (std::size_t i = 0; i < report.results.size(); ++i) {
         const auto& r = report.results[i];
         const auto& m = r.item.measure;
@@ -140,8 +162,12 @@ void write_json(const SweepReport& report, const ScenarioGrid& grid, std::ostrea
            << "\", \"variant\": \"" << json_escape(r.item.variant.name)
            << "\", \"measure\": \"" << to_string(m.kind) << "\", \"disaster\": \""
            << to_string(m.disaster) << "\", \"service_level\": " << fmt(m.service_level)
-           << ", \"formula\": \"" << json_escape(m.property)
-           << "\", \"model_states\": " << r.model_states
+           << ", \"formula\": \"" << json_escape(m.property) << "\"";
+        if (scale_field) {
+            os << ", \"scale\": \"" << json_escape(r.item.scale.name)
+               << "\", \"model_full_states\": " << fmt(r.model_full_states);
+        }
+        os << ", \"model_states\": " << r.model_states
            << ", \"model_transitions\": " << r.model_transitions
            << ", \"seconds\": " << fmt(r.seconds) << ",\n     \"times\": [";
         for (std::size_t k = 0; k < m.times.size(); ++k) {

@@ -123,7 +123,7 @@ core::Disaster make_disaster(DisasterKind kind, const core::CompiledModel& model
 engine::AnalysisSession::CompiledPtr compile_item(engine::AnalysisSession& session,
                                                   const ScenarioGrid& grid,
                                                   const WorkItem& item,
-                                                  core::ReductionPolicy reduction) {
+                                                  const RunnerOptions& options) {
     const auto& strat = watertree::strategy(item.strategy);
     const auto& params = grid.parameters[item.parameter_index].params;
     // Reliability is defined on the repair-free model regardless of variant;
@@ -132,13 +132,15 @@ engine::AnalysisSession::CompiledPtr compile_item(engine::AnalysisSession& sessi
         item.variant.repair && item.measure.kind != MeasureKind::Reliability &&
         !(item.measure.kind == MeasureKind::Property && item.measure.strip_repair);
     return watertree::compile_line(session, item.line, strat, item.variant.encoding,
-                                   params, with_repair, reduction);
+                                   params, with_repair, options.reduction,
+                                   options.symmetry, item.scale.extra_pumps);
 }
 
 ScenarioResult evaluate(engine::AnalysisSession& session, const ScenarioGrid& grid,
-                        const WorkItem& item, core::ReductionPolicy reduction) {
+                        const WorkItem& item, const RunnerOptions& options) {
     const double t0 = now_seconds();
-    const auto model = compile_item(session, grid, item, reduction);
+    const auto model = compile_item(session, grid, item, options);
+    const core::ReductionPolicy reduction = options.reduction;
     // Route the quotient lookup through the session so the lump cache
     // counters see one request per cell (the measures below reuse the same
     // shared quotient).
@@ -152,6 +154,7 @@ ScenarioResult evaluate(engine::AnalysisSession& session, const ScenarioGrid& gr
     result.item = item;
     result.model_states = model->state_count();
     result.model_transitions = model->transition_count();
+    result.model_full_states = model->symmetry_full_states();
     switch (item.measure.kind) {
         case MeasureKind::Availability:
             result.values = {core::availability(session, model)};
@@ -241,8 +244,7 @@ SweepReport SweepRunner::run(const ScenarioGrid& grid, const std::vector<WorkIte
     for (const auto& [key, work] : unique_models) to_compile.push_back(&work);
     run_stealing(workers, to_compile.size(), [&](std::size_t i) {
         const auto model =
-            compile_item(session_, grid, items[to_compile[i]->first_item],
-                         options_.reduction);
+            compile_item(session_, grid, items[to_compile[i]->first_item], options_);
         // Build the quotient inside the barrier too, so phase 2 never
         // serialises behind a partition refinement (and the lump counters
         // attribute the miss to this run).
@@ -256,7 +258,7 @@ SweepReport SweepRunner::run(const ScenarioGrid& grid, const std::vector<WorkIte
     SweepReport report;
     report.results.resize(items.size());
     run_stealing(workers, items.size(), [&](std::size_t i) {
-        report.results[i] = evaluate(session_, grid, items[i], options_.reduction);
+        report.results[i] = evaluate(session_, grid, items[i], options_);
     });
 
     report.unique_models = unique_models.size();

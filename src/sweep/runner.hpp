@@ -31,6 +31,10 @@ struct ScenarioResult {
     std::vector<double> values;
     std::size_t model_states = 0;       ///< state count of the compiled model
     std::size_t model_transitions = 0;  ///< transition count of the compiled model
+    /// Exact full-chain state count recovered from symmetry orbit sizes;
+    /// equals model_states when the model was explored without symmetry
+    /// reduction (the state-space scaling report's numerator).
+    double model_full_states = 0.0;
     double seconds = 0.0;               ///< wall time of this cell's evaluation
 };
 
@@ -63,6 +67,10 @@ struct RunnerOptions {
     /// quotients are built in the phase-1 compile barrier and the report's
     /// stats carry the lump cache counters and reduction sizes.
     core::ReductionPolicy reduction = core::default_reduction_policy();
+    /// On-the-fly symmetry reduction (ARCADE_SYMMETRY): under Auto every
+    /// compile of the run explores the orbit quotient over interchangeable
+    /// components directly; the report's stats carry the symmetry counters.
+    core::SymmetryPolicy symmetry = core::default_symmetry_policy();
 };
 
 class SweepRunner {

@@ -74,12 +74,16 @@ std::string WorkItem::model_key() const {
         (measure.kind == MeasureKind::Property && measure.strip_repair)) {
         key += "/norepair";
     }
+    // The scale changes the compiled model; the default scale adds nothing so
+    // unscaled grids keep their pre-scale keys (and cache identities).
+    if (scale.extra_pumps > 0) key += "/+" + std::to_string(scale.extra_pumps) + "p";
     return key;
 }
 
 std::string WorkItem::key() const {
     std::string key = model_key() + "/v=" + variant.name + "/" +
                       to_string(measure.kind) + "/" + to_string(measure.disaster);
+    if (!scale.is_default()) key += "/sc=" + scale.name;
     if (measure.kind == MeasureKind::Survivability) {
         key += "/x=" + bits_string(measure.service_level);
     }
@@ -199,6 +203,9 @@ std::vector<WorkItem> expand(const ScenarioGrid& grid) {
     if (grid.variants.empty()) {
         throw InvalidArgument("ScenarioGrid: at least one model variant is required");
     }
+    if (grid.scales.empty()) {
+        throw InvalidArgument("ScenarioGrid: at least one component scale is required");
+    }
     std::vector<WorkItem> items;
     std::unordered_set<std::string> seen;
     for (const int line : grid.lines) {
@@ -206,12 +213,15 @@ std::vector<WorkItem> expand(const ScenarioGrid& grid) {
             (void)watertree::strategy(name);  // throws on unknown names, eagerly
             for (const auto& variant : grid.variants) {
                 for (std::size_t p = 0; p < grid.parameters.size(); ++p) {
-                    for (const auto& measure : grid.measures) {
-                        if (!validate(line, measure)) continue;
-                        WorkItem item{line, name, variant, p, measure, items.size()};
-                        if (!item.measure.is_series()) item.measure.times.clear();
-                        if (seen.insert(item.key()).second) {
-                            items.push_back(std::move(item));
+                    for (const auto& scale : grid.scales) {
+                        for (const auto& measure : grid.measures) {
+                            if (!validate(line, measure)) continue;
+                            WorkItem item{line, name, variant, p,
+                                          measure, items.size(), scale};
+                            if (!item.measure.is_series()) item.measure.times.clear();
+                            if (seen.insert(item.key()).second) {
+                                items.push_back(std::move(item));
+                            }
                         }
                     }
                 }

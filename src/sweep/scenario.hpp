@@ -96,14 +96,28 @@ struct ParameterSet {
     watertree::Parameters params;
 };
 
-/// The declarative cross-product.  Lines, strategies, model variants and
-/// parameter sets multiply; each resulting model cell evaluates every
-/// measure.
+/// A named component-count scale: `extra_pumps` spare pumps are added to the
+/// line beyond the paper's configuration (the required count is unchanged).
+/// The default is the paper model itself — grids that never mention scales
+/// behave (and export) exactly as before.
+struct ScaleSpec {
+    std::string name = "paper";
+    std::size_t extra_pumps = 0;
+
+    [[nodiscard]] bool is_default() const noexcept {
+        return extra_pumps == 0 && name == "paper";
+    }
+};
+
+/// The declarative cross-product.  Lines, strategies, model variants,
+/// parameter sets and component scales multiply; each resulting model cell
+/// evaluates every measure.
 struct ScenarioGrid {
     std::vector<int> lines;                  ///< {1}, {2} or {1, 2}
     std::vector<std::string> strategies;     ///< paper names ("DED", "FRF-1", ...)
     std::vector<ModelVariant> variants = {ModelVariant{}};
     std::vector<ParameterSet> parameters = {ParameterSet{}};
+    std::vector<ScaleSpec> scales = {ScaleSpec{}};
     std::vector<MeasureSpec> measures;
 };
 
@@ -118,6 +132,9 @@ struct WorkItem {
     /// original indices, so results from disjoint shards stable-sort by
     /// `index` back into exactly the unsharded order.
     std::size_t index = 0;
+    /// Component-count scale of the cell (the default is the paper model, so
+    /// existing aggregate construction keeps meaning "unscaled").
+    ScaleSpec scale;
 
     /// Stable identity used for deduplication and result labelling.
     [[nodiscard]] std::string key() const;

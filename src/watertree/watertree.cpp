@@ -63,18 +63,25 @@ core::ArcadeModel build_line(const std::string& name, std::size_t sandfilters,
 
 }  // namespace
 
-core::ArcadeModel line1(const Strategy& strategy, const Parameters& params) {
-    return build_line("line1-" + strategy.name, 3, 4, 3, strategy, params);
+core::ArcadeModel line1(const Strategy& strategy, const Parameters& params,
+                        std::size_t extra_pumps) {
+    std::string name = "line1-" + strategy.name;
+    if (extra_pumps > 0) name += "+" + std::to_string(extra_pumps) + "p";
+    return build_line(name, 3, 4 + extra_pumps, 3, strategy, params);
 }
 
-core::ArcadeModel line2(const Strategy& strategy, const Parameters& params) {
-    return build_line("line2-" + strategy.name, 2, 3, 2, strategy, params);
+core::ArcadeModel line2(const Strategy& strategy, const Parameters& params,
+                        std::size_t extra_pumps) {
+    std::string name = "line2-" + strategy.name;
+    if (extra_pumps > 0) name += "+" + std::to_string(extra_pumps) + "p";
+    return build_line(name, 2, 3 + extra_pumps, 2, strategy, params);
 }
 
-core::ArcadeModel line(int number, const Strategy& strategy, const Parameters& params) {
+core::ArcadeModel line(int number, const Strategy& strategy, const Parameters& params,
+                       std::size_t extra_pumps) {
     switch (number) {
-        case 1: return line1(strategy, params);
-        case 2: return line2(strategy, params);
+        case 1: return line1(strategy, params, extra_pumps);
+        case 2: return line2(strategy, params, extra_pumps);
         default: throw InvalidArgument("line number must be 1 or 2");
     }
 }
@@ -84,11 +91,14 @@ engine::AnalysisSession::CompiledPtr compile_line(engine::AnalysisSession& sessi
                                                   core::Encoding encoding,
                                                   const Parameters& params,
                                                   bool with_repair,
-                                                  core::ReductionPolicy reduction) {
+                                                  core::ReductionPolicy reduction,
+                                                  core::SymmetryPolicy symmetry,
+                                                  std::size_t extra_pumps) {
     core::CompileOptions options;
     options.encoding = encoding;
     options.reduction = reduction;
-    core::ArcadeModel model = line(number, strategy, params);
+    options.symmetry = symmetry;
+    core::ArcadeModel model = line(number, strategy, params, extra_pumps);
     if (!with_repair) model = core::without_repair(model);
     return session.compile(model, options);
 }

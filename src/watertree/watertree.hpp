@@ -50,29 +50,38 @@ struct Strategy {
 /// preempt).  Throws InvalidArgument on unknown names.
 [[nodiscard]] const Strategy& strategy(const std::string& name);
 
-/// Builds line 1 or 2 by number.
+/// Builds line 1 or 2 by number.  `extra_pumps` adds spare pumps beyond the
+/// paper's configuration (the required count is unchanged) — the component-
+/// count scaling axis of the sweep's state-space study; 0 is the paper model.
 [[nodiscard]] core::ArcadeModel line(int number, const Strategy& strategy,
-                                     const Parameters& params = {});
+                                     const Parameters& params = {},
+                                     std::size_t extra_pumps = 0);
 
 /// Session-cached compilation of one line (the figure harnesses' and the
 /// sweep runner's entry point): callers asking for the same (line, strategy,
-/// encoding, parameters, repair, reduction) variant share one CompiledModel.
-/// `with_repair = false` strips the repair units before compiling (the
-/// reliability measure and the no-repair model variants); `reduction`
-/// selects whether measures of the model run on its lumped quotient.
+/// encoding, parameters, repair, reduction, symmetry, scale) variant share
+/// one CompiledModel.  `with_repair = false` strips the repair units before
+/// compiling (the reliability measure and the no-repair model variants);
+/// `reduction` selects whether measures of the model run on its lumped
+/// quotient; `symmetry` selects on-the-fly exploration of the orbit quotient
+/// over interchangeable components (ARCADE_SYMMETRY).
 [[nodiscard]] engine::AnalysisSession::CompiledPtr compile_line(
     engine::AnalysisSession& session, int number, const Strategy& strategy,
     core::Encoding encoding = core::Encoding::Individual, const Parameters& params = {},
     bool with_repair = true,
-    core::ReductionPolicy reduction = core::default_reduction_policy());
+    core::ReductionPolicy reduction = core::default_reduction_policy(),
+    core::SymmetryPolicy symmetry = core::default_symmetry_policy(),
+    std::size_t extra_pumps = 0);
 
 /// Line 1: 3 softeners, 3 sand filters, 1 reservoir, 4 pumps (3+1 spare).
 [[nodiscard]] core::ArcadeModel line1(const Strategy& strategy,
-                                      const Parameters& params = {});
+                                      const Parameters& params = {},
+                                      std::size_t extra_pumps = 0);
 
 /// Line 2: 3 softeners, 2 sand filters, 1 reservoir, 3 pumps (2+1 spare).
 [[nodiscard]] core::ArcadeModel line2(const Strategy& strategy,
-                                      const Parameters& params = {});
+                                      const Parameters& params = {},
+                                      std::size_t extra_pumps = 0);
 
 /// Phase indices shared by both lines (order of construction).
 enum PhaseIndex : std::size_t {

@@ -155,12 +155,14 @@ TEST(ParallelExploration, CompileMatchesSerialOnLine2) {
     const auto model = wt::line2(wt::strategy("FRF-1"));
     core::CompileOptions serial;
     serial.threads = 1;
+    serial.symmetry = core::SymmetryPolicy::Off;  // this test pins the full chain
     const auto reference = core::compile(model, serial);
     EXPECT_EQ(reference.state_count(), 8129u);  // paper Table 1
 
     for (const unsigned threads : {2u, 4u}) {
         core::CompileOptions parallel;
         parallel.threads = threads;
+        parallel.symmetry = core::SymmetryPolicy::Off;
         expect_identical(reference, core::compile(model, parallel));
     }
 }

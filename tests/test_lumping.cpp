@@ -241,6 +241,71 @@ TEST(CoarsestLumping, InitialPartitionIsNeverCoarsened) {
     EXPECT_EQ(graph::coarsest_lumping(rates, {0, 0, 1, 1}).count, 2u);
 }
 
+TEST(CoarsestLumping, DegenerateInputsAgreeBitwiseAcrossAlgorithms) {
+    // The worklist refinement and the round-based reference must return the
+    // identical partition on the degenerate shapes too: a single-state
+    // chain, states with no transitions at all, and disconnected components.
+    const auto both = [](const arcade::linalg::CsrMatrix& rates,
+                         const std::vector<std::size_t>& initial,
+                         const std::string& what) {
+        graph::LumpingStats splitter_stats;
+        graph::LumpingStats rounds_stats;
+        const auto splitter =
+            graph::coarsest_lumping(rates, initial,
+                                    graph::LumpingAlgorithm::SplitterQueue,
+                                    &splitter_stats);
+        const auto rounds = graph::coarsest_lumping(
+            rates, initial, graph::LumpingAlgorithm::Rounds, &rounds_stats);
+        EXPECT_EQ(splitter.count, rounds.count) << what;
+        EXPECT_EQ(splitter.block_of, rounds.block_of) << what;
+        EXPECT_EQ(splitter_stats.blocks, rounds_stats.blocks) << what;
+        return splitter;
+    };
+
+    // Single-state chain: one block, trivially.
+    {
+        arcade::linalg::CsrBuilder builder(1, 1);
+        const auto partition = both(builder.build(), {0}, "single state");
+        EXPECT_EQ(partition.count, 1u);
+        EXPECT_EQ(partition.block_of, std::vector<std::size_t>{0});
+    }
+    // No transitions: the initial partition is already the answer, in
+    // first-occurrence numbering.
+    {
+        arcade::linalg::CsrBuilder builder(4, 4);
+        const auto partition = both(builder.build(), {3, 1, 3, 1}, "no transitions");
+        EXPECT_EQ(partition.count, 2u);
+        EXPECT_EQ(partition.block_of, (std::vector<std::size_t>{0, 1, 0, 1}));
+    }
+    // Disconnected chain: two 2-cycles with different rates plus two
+    // isolated states.
+    {
+        arcade::linalg::CsrBuilder builder(6, 6);
+        builder.add(0, 1, 1.0);
+        builder.add(1, 0, 1.0);
+        builder.add(2, 3, 2.0);
+        builder.add(3, 2, 2.0);
+        const auto rates = builder.build();
+        // Intra-block rates are unconstrained by ordinary lumpability, so
+        // the trivial initial partition is already lumpable — a single
+        // absorbing macro state, no matter how disconnected the chain is.
+        EXPECT_EQ(both(rates, {0, 0, 0, 0, 0, 0}, "disconnected trivial").count, 1u);
+        // Disconnected components never exchange rate, so an initial
+        // partition separating only the components cannot refine further.
+        EXPECT_EQ(both(rates, {0, 0, 0, 0, 0, 1}, "disconnected sticky").count, 2u);
+        // Putting the cycle targets into their own block forces cascading
+        // splits: {0,2,4,5} separates by rate into {1,3} (1.0 vs 2.0 vs
+        // nothing — an absent edge is a different signature than a zero
+        // sum), and the refined blocks then split {1,3} apart in turn.
+        const auto partition = both(rates, {0, 1, 0, 1, 0, 0}, "disconnected cascade");
+        EXPECT_EQ(partition.count, 5u);
+        EXPECT_EQ(partition.block_of[4], partition.block_of[5]);
+        EXPECT_NE(partition.block_of[0], partition.block_of[2]);
+        EXPECT_NE(partition.block_of[0], partition.block_of[4]);
+        EXPECT_NE(partition.block_of[1], partition.block_of[3]);
+    }
+}
+
 TEST(QuotientCtmc, AgreesWithOriginalOnEverySolver) {
     const auto planted = make_planted(6, 3, /*seed=*/11);
     const ctmc::QuotientCtmc quotient(planted.chain, planted_signature(planted));
@@ -396,6 +461,7 @@ TEST(AutoLumping, SessionCountsLumpCacheTraffic) {
     core::CompileOptions options;
     options.encoding = core::Encoding::Individual;
     options.reduction = core::ReductionPolicy::Auto;
+    options.symmetry = core::SymmetryPolicy::Off;  // counters pin the full chain
     const auto model = session.compile(wt::line2(wt::strategy("FRF-1")), options);
 
     const auto first = session.quotient(model);

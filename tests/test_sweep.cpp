@@ -262,13 +262,19 @@ TEST(SweepRunner, StateSpaceMeasureReportsTheCompiledModelSizes) {
     grid.strategies = {"DED"};
     grid.variants = {sweep::individual_variant(), sweep::lumped_variant()};
     grid.measures = {{sweep::MeasureKind::StateSpace, sweep::DisasterKind::None, 1.0, {}}};
-    sweep::SweepRunner runner(session);
+    sweep::RunnerOptions full;  // the cells pin Table 1's full sizes
+    full.symmetry = core::SymmetryPolicy::Off;
+    sweep::SweepRunner runner(session, full);
     const auto report = runner.run(grid);
     ASSERT_EQ(report.results.size(), 2u);
 
-    const auto individual = session.compile(wt::line2(wt::strategy("DED")));
+    core::CompileOptions individual_options;
+    individual_options.symmetry = core::SymmetryPolicy::Off;
+    const auto individual =
+        session.compile(wt::line2(wt::strategy("DED")), individual_options);
     core::CompileOptions lumped_options;
     lumped_options.encoding = core::Encoding::Lumped;
+    lumped_options.symmetry = core::SymmetryPolicy::Off;
     const auto lumped = session.compile(wt::line2(wt::strategy("DED")), lumped_options);
 
     EXPECT_EQ(report.results[0].model_states, individual->state_count());

@@ -26,6 +26,14 @@ const Table1Row kTable1[] = {
     {"FFF-2", 111809, 8129},
 };
 
+/// These tests pin the FULL individual encoding against Table 1, so the
+/// symmetry quotient must stay off even under ARCADE_SYMMETRY=auto.
+core::CompileOptions full_encoding() {
+    core::CompileOptions options;
+    options.symmetry = core::SymmetryPolicy::Off;
+    return options;
+}
+
 const wt::Strategy& strategy_named(const std::string& name) {
     static const auto all = wt::paper_strategies();
     for (const auto& s : all) {
@@ -39,7 +47,7 @@ const wt::Strategy& strategy_named(const std::string& name) {
 TEST(WatertreeStateSpace, Line2MatchesTable1Exactly) {
     for (const auto& row : kTable1) {
         const auto model = wt::line2(strategy_named(row.strategy));
-        const auto compiled = core::compile(model);
+        const auto compiled = core::compile(model, full_encoding());
         EXPECT_EQ(compiled.state_count(), row.line2_states)
             << "strategy " << row.strategy << " (line 2)";
     }
@@ -48,7 +56,7 @@ TEST(WatertreeStateSpace, Line2MatchesTable1Exactly) {
 TEST(WatertreeStateSpace, Line1MatchesTable1Exactly) {
     for (const auto& row : kTable1) {
         const auto model = wt::line1(strategy_named(row.strategy));
-        const auto compiled = core::compile(model);
+        const auto compiled = core::compile(model, full_encoding());
         EXPECT_EQ(compiled.state_count(), row.line1_states)
             << "strategy " << row.strategy << " (line 1)";
     }
@@ -59,20 +67,20 @@ TEST(WatertreeStateSpace, DedicatedTransitionCountsMatchTable1) {
     // state: n * 2^n.  Paper: 22528 (line 1); line 2 prints 4606, which is
     // 2 short of 9*512 — we take the analytic value as authoritative.
     const auto ded = strategy_named("DED");
-    EXPECT_EQ(core::compile(wt::line1(ded)).transition_count(), 22528u);
-    EXPECT_EQ(core::compile(wt::line2(ded)).transition_count(), 4608u);
+    EXPECT_EQ(core::compile(wt::line1(ded), full_encoding()).transition_count(), 22528u);
+    EXPECT_EQ(core::compile(wt::line2(ded), full_encoding()).transition_count(), 4608u);
 }
 
 TEST(WatertreeStateSpace, SecondCrewAddsOneTransitionPerQueueingState) {
     // Paper: FRF-2 has exactly 111797 (line 1) / 8119 (line 2) more
     // transitions than FRF-1 — one extra repair transition in every state
     // with a non-empty waiting queue.
-    const auto frf1_l2 = core::compile(wt::line2(strategy_named("FRF-1")));
-    const auto frf2_l2 = core::compile(wt::line2(strategy_named("FRF-2")));
+    const auto frf1_l2 = core::compile(wt::line2(strategy_named("FRF-1")), full_encoding());
+    const auto frf2_l2 = core::compile(wt::line2(strategy_named("FRF-2")), full_encoding());
     EXPECT_EQ(frf2_l2.transition_count() - frf1_l2.transition_count(), 8119u);
 
-    const auto fff1_l2 = core::compile(wt::line2(strategy_named("FFF-1")));
-    const auto fff2_l2 = core::compile(wt::line2(strategy_named("FFF-2")));
+    const auto fff1_l2 = core::compile(wt::line2(strategy_named("FFF-1")), full_encoding());
+    const auto fff2_l2 = core::compile(wt::line2(strategy_named("FFF-2")), full_encoding());
     EXPECT_EQ(fff2_l2.transition_count() - fff1_l2.transition_count(), 8119u);
 }
 
