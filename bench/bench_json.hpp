@@ -12,9 +12,17 @@
 // Provenance (build_type, git_describe) is injected into each new entry, so
 // every row carries its own identity; legacy rows without those fields never
 // match a merge key and are preserved as-is.
+//
+// Release rows are canonical.  Rows measured under any other build type are
+// tagged "non_release": true (including legacy rows already in the file),
+// a fresh Release row evicts same-(bench, commit) non-Release rows, and a
+// fresh non-Release row is dropped when a Release measurement of the same
+// (bench, commit) already exists — debug-build noise can mark a trajectory
+// but never shadow a real measurement.
 #ifndef ARCADE_BENCH_JSON_HPP
 #define ARCADE_BENCH_JSON_HPP
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <fstream>
@@ -115,6 +123,22 @@ inline std::string json_string_field(const std::string& entry, const std::string
     return {};
 }
 
+/// Does the serialised object carry a field named `key` (of any type)?
+inline bool json_has_field(const std::string& entry, const std::string& key) {
+    const std::string needle = "\"" + key + "\"";
+    std::size_t pos = 0;
+    while ((pos = entry.find(needle, pos)) != std::string::npos) {
+        std::size_t i = pos + needle.size();
+        while (i < entry.size() &&
+               std::isspace(static_cast<unsigned char>(entry[i])) != 0) {
+            ++i;
+        }
+        if (i < entry.size() && entry[i] == ':') return true;
+        pos += needle.size();
+    }
+    return false;
+}
+
 /// The entry with a string field prepended right after its opening brace —
 /// unless the key is already present, in which case the entry is unchanged.
 inline std::string with_json_field(std::string entry, const std::string& key,
@@ -131,11 +155,34 @@ inline std::string with_json_field(std::string entry, const std::string& key,
     return entry;
 }
 
+/// Like with_json_field, but the value is spliced in raw (a JSON number or
+/// boolean, not a quoted string).  No-op when the key already exists.
+inline std::string with_json_raw_field(std::string entry, const std::string& key,
+                                       const std::string& raw) {
+    if (json_has_field(entry, key)) return entry;
+    const auto brace = entry.find('{');
+    if (brace == std::string::npos) return entry;
+    entry.insert(brace + 1, "\n      \"" + key + "\": " + raw + ",");
+    return entry;
+}
+
 /// Merge key of one benchmark entry: one row per (bench, config, commit).
 inline std::string merge_key(const std::string& entry) {
     return json_string_field(entry, "name") + "\x1f" +
            json_string_field(entry, "build_type") + "\x1f" +
            json_string_field(entry, "git_describe");
+}
+
+/// Build-type-blind identity: which (bench, commit) point does a row
+/// measure?  Release-preference eviction compares rows on this key.
+inline std::string bench_commit_key(const std::string& entry) {
+    return json_string_field(entry, "name") + "\x1f" +
+           json_string_field(entry, "git_describe");
+}
+
+/// Is the row a Release measurement?
+inline bool is_release_entry(const std::string& entry) {
+    return json_string_field(entry, "build_type") == "Release";
 }
 
 /// Merges the benchmark entries of `addition_path` (a fresh google-benchmark
@@ -166,6 +213,9 @@ inline bool merge_benchmarks(const std::string& target_path,
     for (auto& entry : fresh) {
         entry = with_json_field(entry, "git_describe", describe);
         entry = with_json_field(entry, "build_type", build_type);
+        if (!is_release_entry(entry)) {
+            entry = with_json_raw_field(entry, "non_release", "true");
+        }
     }
 
     std::vector<std::string> merged;
@@ -184,12 +234,42 @@ inline bool merge_benchmarks(const std::string& target_path,
         prefix = target.substr(0, t_begin + marker.size());
         merged = split_json_objects(
             target.substr(t_begin + marker.size(), t_end - t_begin - marker.size()));
+        // Retro-tag rows from before the non_release convention: any row
+        // that declares a non-Release build type gets the marker (rows
+        // without build_type at all are too old to classify — left alone).
+        for (auto& existing : merged) {
+            const std::string bt = json_string_field(existing, "build_type");
+            if (!bt.empty() && bt != "Release") {
+                existing = with_json_raw_field(existing, "non_release", "true");
+            }
+        }
     } else {
         // No trajectory file yet: keep the fresh document's own context block.
         prefix = addition.substr(0, a_begin + marker.size());
     }
 
     for (const auto& entry : fresh) {
+        // Release preference: a Release measurement evicts non-Release rows
+        // of the same (bench, commit); a non-Release measurement never
+        // lands next to an existing Release row of the same point.
+        if (is_release_entry(entry)) {
+            const std::string point = bench_commit_key(entry);
+            merged.erase(std::remove_if(merged.begin(), merged.end(),
+                                        [&](const std::string& existing) {
+                                            return !is_release_entry(existing) &&
+                                                   bench_commit_key(existing) == point;
+                                        }),
+                         merged.end());
+        } else {
+            const std::string point = bench_commit_key(entry);
+            const bool shadowed =
+                std::any_of(merged.begin(), merged.end(),
+                            [&](const std::string& existing) {
+                                return is_release_entry(existing) &&
+                                       bench_commit_key(existing) == point;
+                            });
+            if (shadowed) continue;
+        }
         const std::string key = merge_key(entry);
         bool replaced = false;
         for (auto& existing : merged) {

@@ -33,6 +33,7 @@
 #include "ctmc/quotient.hpp"
 #include "engine/state_store.hpp"
 #include "engine/symmetry.hpp"
+#include "expr/vm.hpp"
 #include "rewards/rewards.hpp"
 
 namespace arcade::core {
@@ -86,6 +87,15 @@ struct CompileOptions {
     /// Error additionally throws ModelError when any error-severity finding
     /// exists.  Overridable per process via ARCADE_LINT=off|warn|error.
     analysis::LintLevel lint = analysis::default_lint_level();
+    /// Expression evaluator requested for this compile
+    /// (ARCADE_EVAL=interp|vm|codegen).  The Arcade encoders themselves are
+    /// hand-written native transition functions — stage 0 of the
+    /// compilation ladder whose stages 1 (bytecode VM) and 2 (generated
+    /// C++, expr/codegen.hpp) serve the reactive-modules pipeline — so the
+    /// mode does not change how this compiler runs; it is recorded for
+    /// provenance and keys the session caches, keeping mode-comparison
+    /// measurements honest.  Every mode yields the bitwise-identical chain.
+    expr::EvalMode eval = expr::default_eval_mode();
 };
 
 /// A disaster for survivability analysis: how many components of each phase

@@ -1,6 +1,7 @@
 #include "engine/session.hpp"
 
 #include "ctmc/steady_state.hpp"
+#include "expr/codegen.hpp"
 #include "graph/lumping.hpp"
 #include "linalg/vector_ops.hpp"
 #include "logic/csl_compiled.hpp"
@@ -41,7 +42,8 @@ private:
 
 std::uint64_t options_key(std::uint64_t model_fp, std::uint64_t encoding,
                           std::size_t max_states, std::uint64_t reduction,
-                          std::uint64_t lint = 0, std::uint64_t symmetry = 0) {
+                          std::uint64_t lint = 0, std::uint64_t symmetry = 0,
+                          std::uint64_t eval = 0) {
     Fingerprinter fp(0);
     fp.mix(model_fp);
     fp.mix(encoding);
@@ -49,6 +51,10 @@ std::uint64_t options_key(std::uint64_t model_fp, std::uint64_t encoding,
     fp.mix(reduction);
     fp.mix(lint);
     fp.mix(symmetry);
+    // Every eval mode produces the bitwise-identical chain, but the key
+    // still distinguishes them so mode-comparison consumers (the perf
+    // benchmarks) measure a real explore rather than a cache hit.
+    fp.mix(eval);
     return fp.value();
 }
 
@@ -147,13 +153,15 @@ AnalysisSession::CompiledPtr AnalysisSession::compile(const core::ArcadeModel& m
         fingerprint(model), static_cast<std::uint64_t>(options.encoding), options.max_states,
         static_cast<std::uint64_t>(options.reduction),
         static_cast<std::uint64_t>(options.lint),
-        static_cast<std::uint64_t>(options.symmetry));
+        static_cast<std::uint64_t>(options.symmetry),
+        static_cast<std::uint64_t>(options.eval));
     const std::uint64_t check = options_key(fingerprint(model, /*seed=*/1),
                                             static_cast<std::uint64_t>(options.encoding),
                                             options.max_states,
                                             static_cast<std::uint64_t>(options.reduction),
                                             static_cast<std::uint64_t>(options.lint),
-                                            static_cast<std::uint64_t>(options.symmetry));
+                                            static_cast<std::uint64_t>(options.symmetry),
+                                            static_cast<std::uint64_t>(options.eval));
     {
         std::lock_guard<std::mutex> lock(mutex_);
         const auto it = compiled_.find(key);
@@ -188,11 +196,13 @@ AnalysisSession::ExploredPtr AnalysisSession::explore(const modules::ModuleSyste
                                                       const modules::ExploreOptions& options) {
     const std::uint64_t key =
         options_key(fingerprint(system), 0, options.max_states, /*reduction=*/0,
-                    /*lint=*/0, static_cast<std::uint64_t>(options.symmetry));
+                    /*lint=*/0, static_cast<std::uint64_t>(options.symmetry),
+                    static_cast<std::uint64_t>(options.eval));
     const std::uint64_t check =
         options_key(fingerprint(system, /*seed=*/1), 0, options.max_states,
                     /*reduction=*/0, /*lint=*/0,
-                    static_cast<std::uint64_t>(options.symmetry));
+                    static_cast<std::uint64_t>(options.symmetry),
+                    static_cast<std::uint64_t>(options.eval));
     {
         std::lock_guard<std::mutex> lock(mutex_);
         const auto it = explored_.find(key);
@@ -336,7 +346,15 @@ double AnalysisSession::steady_state_cost(const CompiledPtr& model) {
 
 SessionStats AnalysisSession::stats() const {
     std::lock_guard<std::mutex> lock(mutex_);
-    return stats_;
+    SessionStats out = stats_;
+    // The codegen counters are process-wide (the disk cache and toolchain
+    // are shared by every session), so snapshot rather than accumulate:
+    // delta-taking consumers (operator-) still see per-batch traffic.
+    const expr::CodegenCounters cg = expr::codegen_counters();
+    out.codegen_builds = cg.builds;
+    out.codegen_cache_hits = cg.cache_hits;
+    out.codegen_fallbacks = cg.fallbacks;
+    return out;
 }
 
 void AnalysisSession::clear() {

@@ -1,0 +1,96 @@
+// Native code generation for compiled expression programs (stage 2 of the
+// transition-function compilation pipeline).
+//
+// `build_native_unit(programs, slot_is_bool)` translates a set of bytecode
+// Programs — everything one model evaluates: guards, rates, assignments,
+// labels, rewards — into ONE generated C++ translation unit, compiles it
+// out of process with the host toolchain ($ARCADE_CXX, then $CXX, then
+// `c++`), `dlopen`s the result and returns a NativeUnit exposing one
+// callable per program.  Generation starts from the VM bytecode, not the
+// Expr trees, so the generated code inherits the VM's constant folding and
+// short-circuit lowering, and the emitted operators replicate
+// apply_binary/apply_unary statement for statement — a successful native
+// call returns the bit-identical Value the VM would.  Failing calls (type
+// errors, division by zero) report failure instead of raising: the caller
+// re-runs the paired VM program, which throws the identical ModelError.
+// The VM is therefore the differential-test oracle for this backend,
+// exactly as the tree interpreter is for the VM.
+//
+// Units are cached at two levels, both content-addressed by an FNV-1a hash
+// of the generated source: a process-wide in-memory cache of live dlopen'ed
+// handles (repeat explores of one model pay neither compile nor reload),
+// and an on-disk cache under $ARCADE_CODEGEN_CACHE (default: a per-user
+// directory beneath the system temp dir) whose hits skip the compile and
+// only pay a dlopen.  When no toolchain, no dlopen, or no writable
+// cache dir is available, build_native_unit returns nullptr and bumps the
+// process-wide fallback counter — consumers degrade to the VM gracefully.
+#ifndef ARCADE_EXPR_CODEGEN_HPP
+#define ARCADE_EXPR_CODEGEN_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "expr/vm.hpp"
+
+namespace arcade::expr {
+
+/// Process-wide codegen traffic (snapshotted into engine::SessionStats and
+/// the sweep counter exports).
+struct CodegenCounters {
+    std::size_t builds = 0;      ///< units compiled out of process
+    std::size_t cache_hits = 0;  ///< units reloaded from the on-disk cache
+    std::size_t fallbacks = 0;   ///< failed builds (consumer ran the VM)
+};
+
+/// Current process-wide counter values (monotonic).
+[[nodiscard]] CodegenCounters codegen_counters();
+
+/// A dlopen'ed unit of natively compiled programs.  Immutable after build;
+/// the function pointers are pure over the state span, so one unit is safe
+/// to share across the explorer's worker threads.
+class NativeUnit {
+public:
+    NativeUnit(const NativeUnit&) = delete;
+    NativeUnit& operator=(const NativeUnit&) = delete;
+    ~NativeUnit();
+
+    /// Number of callable programs (== programs.size() at build).
+    [[nodiscard]] std::size_t size() const noexcept { return fns_.size(); }
+
+    /// Runs program `fn` over the raw state valuation (`state[i]` is slot
+    /// i's packed value; bool slots were declared at build time).  Returns
+    /// false when the evaluation would throw — the caller must re-run the
+    /// paired VM program to raise the identical ModelError.
+    [[nodiscard]] bool try_run(std::size_t fn, std::span<const std::int64_t> state,
+                               Value& out) const;
+
+    /// Path of the loaded shared object (diagnostics/tests).
+    [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+private:
+    NativeUnit() = default;
+    friend std::shared_ptr<const NativeUnit> build_native_unit(
+        std::span<const Program* const> programs, const std::vector<bool>& slot_is_bool);
+
+    using Fn = int (*)(const std::int64_t*, long long*, double*);
+    void* handle_ = nullptr;
+    std::vector<Fn> fns_;
+    std::string path_;
+};
+
+/// Generates, compiles and loads one native unit for `programs`.
+/// `slot_is_bool[i]` declares slot i's type (LoadSlot instructions convert
+/// the raw int64 exactly like the explorer's fill_slots).  Every program's
+/// LoadSlot indices must be < slot_is_bool.size().  Returns nullptr — and
+/// counts a fallback — when the toolchain, dlopen or the cache dir is
+/// unavailable; never throws for environmental failures.
+[[nodiscard]] std::shared_ptr<const NativeUnit> build_native_unit(
+    std::span<const Program* const> programs, const std::vector<bool>& slot_is_bool);
+
+}  // namespace arcade::expr
+
+#endif  // ARCADE_EXPR_CODEGEN_HPP

@@ -15,6 +15,7 @@ EvalMode default_eval_mode() {
     static const EvalMode mode = [] {
         const char* env = std::getenv("ARCADE_EVAL");
         if (env != nullptr && std::string(env) == "interp") return EvalMode::Interp;
+        if (env != nullptr && std::string(env) == "codegen") return EvalMode::Codegen;
         return EvalMode::Vm;
     }();
     return mode;

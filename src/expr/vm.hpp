@@ -25,12 +25,14 @@ namespace arcade::expr {
 
 /// Which evaluator the hot consumers (explorer, predicate sweeps) use.
 enum class EvalMode {
-    Vm,      ///< compiled bytecode programs (default)
-    Interp,  ///< the Expr tree walker (differential-test oracle)
+    Vm,       ///< compiled bytecode programs (default)
+    Interp,   ///< the Expr tree walker (differential-test oracle)
+    Codegen,  ///< generated C++ compiled out of process + dlopen (expr/codegen)
 };
 
 /// Process-wide default, read once from the ARCADE_EVAL environment variable
-/// ("interp" selects the tree interpreter; anything else, or unset, the VM).
+/// ("interp" selects the tree interpreter, "codegen" the native backend;
+/// anything else, or unset, the VM).
 [[nodiscard]] EvalMode default_eval_mode();
 
 /// Compile-time name resolution: identifiers listed in `slots` become

@@ -7,21 +7,56 @@
 
 #include "support/errors.hpp"
 
+#if defined(__x86_64__) || defined(_M_X64)
+#define ARCADE_SIMD_X86 1
+#include <immintrin.h>
+#elif defined(__aarch64__)
+#define ARCADE_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+#if defined(ARCADE_SIMD_X86) || defined(ARCADE_SIMD_NEON)
+#define ARCADE_SIMD_ARCH 1
+#endif
+
 namespace arcade::linalg {
 
 KernelMode default_kernel_mode() {
     static const KernelMode mode = [] {
         const char* env = std::getenv("ARCADE_KERNELS");
-        if (env != nullptr && std::string(env) == "scalar") return KernelMode::Scalar;
+        if (env != nullptr) {
+            const std::string value(env);
+            if (value == "scalar") return KernelMode::Scalar;
+            if (value == "simd") return KernelMode::Simd;
+        }
         return KernelMode::Blocked;
     }();
     return mode;
+}
+
+bool simd_available() {
+#if defined(ARCADE_SIMD_X86)
+    static const bool ok = __builtin_cpu_supports("avx2") != 0;
+    return ok;
+#elif defined(ARCADE_SIMD_NEON)
+    return true;  // NEON is baseline on aarch64
+#else
+    return false;
+#endif
 }
 
 namespace {
 
 std::atomic<KernelMode>& mode_slot() {
     static std::atomic<KernelMode> mode{default_kernel_mode()};
+    return mode;
+}
+
+/// The mode the dispatchers act on: Simd degrades to Blocked when the CPU
+/// lacks the extension, so "ARCADE_KERNELS=simd everywhere" is always safe.
+KernelMode effective_mode() {
+    const KernelMode mode = mode_slot().load(std::memory_order_relaxed);
+    if (mode == KernelMode::Simd && !simd_available()) return KernelMode::Blocked;
     return mode;
 }
 
@@ -257,6 +292,302 @@ void uniformised_right_blocked(const CsrMatrix& rates, double lambda,
     }
 }
 
+// ---------------------------------------------------------------------------
+// SIMD primitives.  Only element-wise work is ever vectorised; every
+// accumulator is folded lane by lane in the SAME sequential order as the
+// scalar/blocked loops, and mul/add stay separate instructions (no FMA
+// contraction), so the results are bitwise identical across all three modes.
+//
+// Which primitives get a vector body is a measured decision, not a uniform
+// one.  On AVX2 Skylake-class cores the ordered-fold constraint makes
+// gather-based reductions (vpgatherqq + four serial adds) slower than the
+// blocked scalar unroll at EVERY row length — gathers cost one load-port
+// micro-op per element, exactly like scalar loads, so only ALU work is
+// saved and the extra shuffles eat the saving.  Division is the opposite:
+// one vdivpd retires four divisions in roughly half the cycles of four
+// divsd, a win that survives the lane extraction.  The x86 simd build
+// therefore vectorises the division-heavy uniformised primitives and
+// reuses the blocked bodies for the multiply-only paths.  NEON pays no
+// gather penalty (two-lane vectors load scalars directly), so aarch64
+// keeps vector bodies throughout.
+// ---------------------------------------------------------------------------
+
+#if defined(ARCADE_SIMD_X86)
+
+/// Blocked body, re-used verbatim: vector mul + lane extraction measured
+/// slower than four scalar multiply-adds for this shape (see block comment
+/// above).
+inline double row_dot_simd(const std::size_t* __restrict cols,
+                           const double* __restrict vals, const double* __restrict x,
+                           std::size_t begin, std::size_t end, double acc) {
+    return row_dot(cols, vals, x, begin, end, acc);
+}
+
+/// The four lanes of `v` folded into `acc` strictly left to right —
+/// (((acc+v0)+v1)+v2)+v3, the scalar loops' association — via register
+/// shuffles (no temp-array round trip through the store buffer).
+__attribute__((target("avx2"))) inline double fold_lanes_ordered(__m256d v, double acc) {
+    const __m128d lo = _mm256_castpd256_pd128(v);
+    const __m128d hi = _mm256_extractf128_pd(v, 1);
+    acc += _mm_cvtsd_f64(lo);
+    acc += _mm_cvtsd_f64(_mm_unpackhi_pd(lo, lo));
+    acc += _mm_cvtsd_f64(hi);
+    acc += _mm_cvtsd_f64(_mm_unpackhi_pd(hi, hi));
+    return acc;
+}
+
+__attribute__((target("avx2"))) double scatter_range_simd(
+    const std::size_t* __restrict cols, const double* __restrict vals, double p,
+    double lambda, double* __restrict out, std::size_t begin, std::size_t end,
+    double moved) {
+    std::size_t k = begin;
+    const __m256d lam = _mm256_set1_pd(lambda);
+    const __m256d pv = _mm256_set1_pd(p);
+    for (; k + 4 <= end; k += 4) {
+        const __m256d qv = _mm256_div_pd(_mm256_loadu_pd(vals + k), lam);
+        const __m256d pq = _mm256_mul_pd(pv, qv);
+        const __m128d lo = _mm256_castpd256_pd128(pq);
+        const __m128d hi = _mm256_extractf128_pd(pq, 1);
+        out[cols[k]] += _mm_cvtsd_f64(lo);
+        out[cols[k + 1]] += _mm_cvtsd_f64(_mm_unpackhi_pd(lo, lo));
+        out[cols[k + 2]] += _mm_cvtsd_f64(hi);
+        out[cols[k + 3]] += _mm_cvtsd_f64(_mm_unpackhi_pd(hi, hi));
+        moved = fold_lanes_ordered(qv, moved);
+    }
+    for (; k < end; ++k) {
+        const double q0 = vals[k] / lambda;
+        out[cols[k]] += p * q0;
+        moved += q0;
+    }
+    return moved;
+}
+
+__attribute__((target("avx2"))) void gather_range_simd(
+    const std::size_t* __restrict cols, const double* __restrict vals, double lambda,
+    const double* __restrict cur, std::size_t begin, std::size_t end, double& sum,
+    double& moved) {
+    double s = sum;
+    double m = moved;
+    std::size_t k = begin;
+    const __m256d lam = _mm256_set1_pd(lambda);
+    // Vector division, scalar loads of `cur`: vpgatherqq would cost the
+    // same load-port micro-ops as four scalar loads and lose the division
+    // win to its setup overhead.
+    for (; k + 4 <= end; k += 4) {
+        const __m256d pv = _mm256_div_pd(_mm256_loadu_pd(vals + k), lam);
+        const __m128d lo = _mm256_castpd256_pd128(pv);
+        const __m128d hi = _mm256_extractf128_pd(pv, 1);
+        const double p0 = _mm_cvtsd_f64(lo);
+        const double p1 = _mm_cvtsd_f64(_mm_unpackhi_pd(lo, lo));
+        const double p2 = _mm_cvtsd_f64(hi);
+        const double p3 = _mm_cvtsd_f64(_mm_unpackhi_pd(hi, hi));
+        s = (((s + p0 * cur[cols[k]]) + p1 * cur[cols[k + 1]]) + p2 * cur[cols[k + 2]]) +
+            p3 * cur[cols[k + 3]];
+        m = (((m + p0) + p1) + p2) + p3;
+    }
+    for (; k < end; ++k) {
+        const double p0 = vals[k] / lambda;
+        s += p0 * cur[cols[k]];
+        m += p0;
+    }
+    sum = s;
+    moved = m;
+}
+
+#elif defined(ARCADE_SIMD_NEON)
+
+double row_dot_simd(const std::size_t* __restrict cols, const double* __restrict vals,
+                    const double* __restrict x, std::size_t begin, std::size_t end,
+                    double acc) {
+    std::size_t k = begin;
+    for (; k + 2 <= end; k += 2) {
+        const float64x2_t xs = {x[cols[k]], x[cols[k + 1]]};
+        const float64x2_t t = vmulq_f64(vld1q_f64(vals + k), xs);
+        acc = (acc + vgetq_lane_f64(t, 0)) + vgetq_lane_f64(t, 1);
+    }
+    for (; k < end; ++k) acc += vals[k] * x[cols[k]];
+    return acc;
+}
+
+void mul_scatter_simd(const std::size_t* __restrict cols, const double* __restrict vals,
+                      double xr, double* __restrict y, std::size_t begin,
+                      std::size_t end) {
+    std::size_t k = begin;
+    const float64x2_t xv = vdupq_n_f64(xr);
+    for (; k + 2 <= end; k += 2) {
+        const float64x2_t t = vmulq_f64(xv, vld1q_f64(vals + k));
+        y[cols[k]] += vgetq_lane_f64(t, 0);
+        y[cols[k + 1]] += vgetq_lane_f64(t, 1);
+    }
+    for (; k < end; ++k) y[cols[k]] += xr * vals[k];
+}
+
+double scatter_range_simd(const std::size_t* __restrict cols,
+                          const double* __restrict vals, double p, double lambda,
+                          double* __restrict out, std::size_t begin, std::size_t end,
+                          double moved) {
+    std::size_t k = begin;
+    const float64x2_t lam = vdupq_n_f64(lambda);
+    const float64x2_t pv = vdupq_n_f64(p);
+    for (; k + 2 <= end; k += 2) {
+        const float64x2_t qv = vdivq_f64(vld1q_f64(vals + k), lam);
+        const float64x2_t pq = vmulq_f64(pv, qv);
+        out[cols[k]] += vgetq_lane_f64(pq, 0);
+        out[cols[k + 1]] += vgetq_lane_f64(pq, 1);
+        moved = (moved + vgetq_lane_f64(qv, 0)) + vgetq_lane_f64(qv, 1);
+    }
+    for (; k < end; ++k) {
+        const double q0 = vals[k] / lambda;
+        out[cols[k]] += p * q0;
+        moved += q0;
+    }
+    return moved;
+}
+
+void gather_range_simd(const std::size_t* __restrict cols, const double* __restrict vals,
+                       double lambda, const double* __restrict cur, std::size_t begin,
+                       std::size_t end, double& sum, double& moved) {
+    double s = sum;
+    double m = moved;
+    std::size_t k = begin;
+    const float64x2_t lam = vdupq_n_f64(lambda);
+    for (; k + 2 <= end; k += 2) {
+        const float64x2_t pv = vdivq_f64(vld1q_f64(vals + k), lam);
+        const float64x2_t cs = {cur[cols[k]], cur[cols[k + 1]]};
+        const float64x2_t pc = vmulq_f64(pv, cs);
+        s = (s + vgetq_lane_f64(pc, 0)) + vgetq_lane_f64(pc, 1);
+        m = (m + vgetq_lane_f64(pv, 0)) + vgetq_lane_f64(pv, 1);
+    }
+    for (; k < end; ++k) {
+        const double p0 = vals[k] / lambda;
+        s += p0 * cur[cols[k]];
+        m += p0;
+    }
+    sum = s;
+    moved = m;
+}
+
+#endif  // SIMD primitives
+
+#if defined(ARCADE_SIMD_ARCH)
+
+// On x86 the uniformised variants carry the avx2 target themselves so the
+// range helpers inline into the row loops — that lets the compiler hoist
+// the loop-invariant broadcasts (lambda, p) out of the per-row calls, which
+// matters when rows are short.  The multiply variants deliberately stay at
+// the baseline ISA: their bodies are the blocked scalar loops, and compiling
+// those with AVX2 enabled invites the compiler to SLP-vectorise the
+// four-unrolled body into the gather + lane-extract pattern this file
+// measured as slower.  The dispatchers only reach any of these after
+// simd_available(), so the attribute never runs on unsupported hardware.
+#if defined(ARCADE_SIMD_X86)
+#define ARCADE_SIMD_TARGET __attribute__((target("avx2")))
+#else
+#define ARCADE_SIMD_TARGET
+#endif
+
+#if defined(ARCADE_SIMD_X86)
+
+// The multiply kernels' best bitwise-preserving x86 implementation IS the
+// blocked one (measured; see the primitives block comment): dispatch
+// straight to the very same functions so simd mode executes identical
+// machine code, not a copy at a different address.
+void multiply_left_simd(const CsrMatrix& m, std::span<const double> x,
+                        std::span<double> y) {
+    multiply_left_blocked(m, x, y);
+}
+
+void multiply_right_simd(const CsrMatrix& m, std::span<const double> x,
+                         std::span<double> y) {
+    multiply_right_blocked(m, x, y);
+}
+
+#else  // NEON
+
+void multiply_left_simd(const CsrMatrix& m, std::span<const double> x,
+                        std::span<double> y) {
+    std::fill(y.begin(), y.end(), 0.0);
+    const std::size_t* __restrict row_ptr = m.row_ptr().data();
+    const std::size_t* __restrict cols = m.col_idx().data();
+    const double* __restrict vals = m.values().data();
+    const double* __restrict xp = x.data();
+    double* __restrict yp = y.data();
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        const double xr = xp[r];
+        if (xr == 0.0) continue;
+        mul_scatter_simd(cols, vals, xr, yp, row_ptr[r], row_ptr[r + 1]);
+    }
+}
+
+void multiply_right_simd(const CsrMatrix& m, std::span<const double> x,
+                         std::span<double> y) {
+    const std::size_t* __restrict row_ptr = m.row_ptr().data();
+    const std::size_t* __restrict cols = m.col_idx().data();
+    const double* __restrict vals = m.values().data();
+    const double* __restrict xp = x.data();
+    double* __restrict yp = y.data();
+    const std::size_t rows = m.rows();
+    // Same four-row blocking as the blocked kernel: each row's accumulation
+    // is a serial dependency chain, so four independent rows in flight are
+    // what keep the vector units busy.
+    std::size_t r = 0;
+    for (; r + 4 <= rows; r += 4) {
+        yp[r] = row_dot_simd(cols, vals, xp, row_ptr[r], row_ptr[r + 1], 0.0);
+        yp[r + 1] = row_dot_simd(cols, vals, xp, row_ptr[r + 1], row_ptr[r + 2], 0.0);
+        yp[r + 2] = row_dot_simd(cols, vals, xp, row_ptr[r + 2], row_ptr[r + 3], 0.0);
+        yp[r + 3] = row_dot_simd(cols, vals, xp, row_ptr[r + 3], row_ptr[r + 4], 0.0);
+    }
+    for (; r < rows; ++r) {
+        yp[r] = row_dot_simd(cols, vals, xp, row_ptr[r], row_ptr[r + 1], 0.0);
+    }
+}
+
+#endif  // multiply variants
+
+ARCADE_SIMD_TARGET void uniformised_left_simd(const CsrMatrix& rates, double lambda,
+                           std::span<const double> in, std::span<double> out) {
+    std::fill(out.begin(), out.end(), 0.0);
+    const std::size_t* __restrict row_ptr = rates.row_ptr().data();
+    const std::size_t* __restrict cols = rates.col_idx().data();
+    const double* __restrict vals = rates.values().data();
+    double* __restrict op = out.data();
+    for (std::size_t i = 0; i < rates.rows(); ++i) {
+        const double p = in[i];
+        if (p == 0.0) continue;
+        const std::size_t begin = row_ptr[i];
+        const std::size_t end = row_ptr[i + 1];
+        const std::size_t diag = find_diag(cols, begin, end, i);
+        double moved = scatter_range_simd(cols, vals, p, lambda, op, begin, diag, 0.0);
+        if (diag != end) {
+            moved = scatter_range_simd(cols, vals, p, lambda, op, diag + 1, end, moved);
+        }
+        op[i] += p * (1.0 - moved);
+    }
+}
+
+ARCADE_SIMD_TARGET void uniformised_right_simd(const CsrMatrix& rates, double lambda,
+                            std::span<const double> cur, std::span<double> next) {
+    const std::size_t* __restrict row_ptr = rates.row_ptr().data();
+    const std::size_t* __restrict cols = rates.col_idx().data();
+    const double* __restrict vals = rates.values().data();
+    const double* __restrict cp = cur.data();
+    double* __restrict np = next.data();
+    for (std::size_t i = 0; i < rates.rows(); ++i) {
+        const std::size_t begin = row_ptr[i];
+        const std::size_t end = row_ptr[i + 1];
+        const std::size_t diag = find_diag(cols, begin, end, i);
+        double sum = 0.0;
+        double moved = 0.0;
+        gather_range_simd(cols, vals, lambda, cp, begin, diag, sum, moved);
+        if (diag != end) {
+            gather_range_simd(cols, vals, lambda, cp, diag + 1, end, sum, moved);
+        }
+        np[i] = sum + (1.0 - moved) * cp[i];  // diagonal term last, like the seed
+    }
+}
+
+#endif  // ARCADE_SIMD_ARCH
+
 }  // namespace
 
 KernelMode kernel_mode() { return mode_slot().load(std::memory_order_relaxed); }
@@ -268,20 +599,24 @@ void set_kernel_mode(KernelMode mode) {
 void multiply_left(const CsrMatrix& m, std::span<const double> x, std::span<double> y) {
     ARCADE_ASSERT(x.size() == m.rows() && y.size() == m.cols(),
                   "multiply_left shape mismatch");
-    if (kernel_mode() == KernelMode::Blocked) {
-        multiply_left_blocked(m, x, y);
-    } else {
-        multiply_left_scalar(m, x, y);
+    switch (effective_mode()) {
+#if defined(ARCADE_SIMD_ARCH)
+        case KernelMode::Simd: multiply_left_simd(m, x, y); return;
+#endif
+        case KernelMode::Blocked: multiply_left_blocked(m, x, y); return;
+        default: multiply_left_scalar(m, x, y); return;
     }
 }
 
 void multiply_right(const CsrMatrix& m, std::span<const double> x, std::span<double> y) {
     ARCADE_ASSERT(x.size() == m.cols() && y.size() == m.rows(),
                   "multiply_right shape mismatch");
-    if (kernel_mode() == KernelMode::Blocked) {
-        multiply_right_blocked(m, x, y);
-    } else {
-        multiply_right_scalar(m, x, y);
+    switch (effective_mode()) {
+#if defined(ARCADE_SIMD_ARCH)
+        case KernelMode::Simd: multiply_right_simd(m, x, y); return;
+#endif
+        case KernelMode::Blocked: multiply_right_blocked(m, x, y); return;
+        default: multiply_right_scalar(m, x, y); return;
     }
 }
 
@@ -289,10 +624,12 @@ void uniformised_multiply_left(const CsrMatrix& rates, double lambda,
                                std::span<const double> in, std::span<double> out) {
     ARCADE_ASSERT(in.size() == rates.rows() && out.size() == rates.rows(),
                   "uniformised_multiply_left shape mismatch");
-    if (kernel_mode() == KernelMode::Blocked) {
-        uniformised_left_blocked(rates, lambda, in, out);
-    } else {
-        uniformised_left_scalar(rates, lambda, in, out);
+    switch (effective_mode()) {
+#if defined(ARCADE_SIMD_ARCH)
+        case KernelMode::Simd: uniformised_left_simd(rates, lambda, in, out); return;
+#endif
+        case KernelMode::Blocked: uniformised_left_blocked(rates, lambda, in, out); return;
+        default: uniformised_left_scalar(rates, lambda, in, out); return;
     }
 }
 
@@ -300,22 +637,37 @@ void uniformised_multiply_right(const CsrMatrix& rates, double lambda,
                                 std::span<const double> cur, std::span<double> next) {
     ARCADE_ASSERT(cur.size() == rates.rows() && next.size() == rates.rows(),
                   "uniformised_multiply_right shape mismatch");
-    if (kernel_mode() == KernelMode::Blocked) {
-        uniformised_right_blocked(rates, lambda, cur, next);
-    } else {
-        uniformised_right_scalar(rates, lambda, cur, next);
+    switch (effective_mode()) {
+#if defined(ARCADE_SIMD_ARCH)
+        case KernelMode::Simd: uniformised_right_simd(rates, lambda, cur, next); return;
+#endif
+        case KernelMode::Blocked:
+            uniformised_right_blocked(rates, lambda, cur, next);
+            return;
+        default: uniformised_right_scalar(rates, lambda, cur, next); return;
     }
 }
 
 double gather_skip_diag(std::span<const std::size_t> cols, std::span<const double> vals,
                         std::span<const double> x, std::size_t skip, double acc) {
-    if (kernel_mode() == KernelMode::Scalar) {
+    const KernelMode mode = effective_mode();
+    if (mode == KernelMode::Scalar) {
         for (std::size_t k = 0; k < cols.size(); ++k) {
             if (cols[k] != skip) acc += vals[k] * x[cols[k]];
         }
         return acc;
     }
     const std::size_t diag = find_diag(cols.data(), 0, cols.size(), skip);
+#if defined(ARCADE_SIMD_ARCH)
+    if (mode == KernelMode::Simd) {
+        acc = row_dot_simd(cols.data(), vals.data(), x.data(), 0, diag, acc);
+        if (diag != cols.size()) {
+            acc = row_dot_simd(cols.data(), vals.data(), x.data(), diag + 1, cols.size(),
+                               acc);
+        }
+        return acc;
+    }
+#endif
     acc = row_dot(cols.data(), vals.data(), x.data(), 0, diag, acc);
     if (diag != cols.size()) {
         acc = row_dot(cols.data(), vals.data(), x.data(), diag + 1, cols.size(), acc);
@@ -327,7 +679,8 @@ double gather_capture_diag(std::span<const std::size_t> cols, std::span<const do
                            std::span<const double> x, std::size_t row, double acc,
                            double& diag) {
     diag = 0.0;
-    if (kernel_mode() == KernelMode::Scalar) {
+    const KernelMode mode = effective_mode();
+    if (mode == KernelMode::Scalar) {
         for (std::size_t k = 0; k < cols.size(); ++k) {
             if (cols[k] == row) {
                 diag = vals[k];
@@ -338,6 +691,17 @@ double gather_capture_diag(std::span<const std::size_t> cols, std::span<const do
         return acc;
     }
     const std::size_t d = find_diag(cols.data(), 0, cols.size(), row);
+#if defined(ARCADE_SIMD_ARCH)
+    if (mode == KernelMode::Simd) {
+        acc = row_dot_simd(cols.data(), vals.data(), x.data(), 0, d, acc);
+        if (d != cols.size()) {
+            diag = vals[d];
+            acc = row_dot_simd(cols.data(), vals.data(), x.data(), d + 1, cols.size(),
+                               acc);
+        }
+        return acc;
+    }
+#endif
     acc = row_dot(cols.data(), vals.data(), x.data(), 0, d, acc);
     if (d != cols.size()) {
         diag = vals[d];

@@ -1,15 +1,18 @@
-// Blocked CSR matvec kernels for the numeric core.
+// Blocked and SIMD CSR matvec kernels for the numeric core.
 //
-// Every kernel here exists in two variants selected by KernelMode: Blocked
-// (4-way unrolled inner loops over __restrict pointers, with the diagonal
-// split out of the uniformised loops so the hot path is branch-free) and
-// Scalar (the seed's straightforward loops, kept as the reference).  Both
+// Every kernel here exists in three variants selected by KernelMode:
+// Blocked (4-way unrolled inner loops over __restrict pointers, with the
+// diagonal split out of the uniformised loops so the hot path is
+// branch-free), Simd (runtime-dispatched AVX2 on x86-64 / NEON on aarch64
+// vector bodies; resolves to Blocked when the CPU lacks the extension) and
+// Scalar (the seed's straightforward loops, kept as the reference).  All
 // variants accumulate in the SAME ascending-index order with a single
 // sequential accumulator chain, so their results are bitwise identical —
-// the unrolling only pipelines the loads, multiplies and divisions, it never
-// reassociates a floating-point sum.  ARCADE_KERNELS=scalar selects the
-// reference variant process-wide; tests and benches flip the mode at runtime
-// via set_kernel_mode().
+// the unrolling and vectorisation only pipeline the loads, multiplies and
+// divisions (the element-wise work), they never reassociate a
+// floating-point sum and never contract into FMAs.  ARCADE_KERNELS=
+// scalar|blocked|simd selects the variant process-wide; tests and benches
+// flip the mode at runtime via set_kernel_mode().
 #ifndef ARCADE_LINALG_KERNELS_HPP
 #define ARCADE_LINALG_KERNELS_HPP
 
@@ -23,12 +26,17 @@ namespace arcade::linalg {
 enum class KernelMode {
     Blocked,  ///< unrolled kernels (default)
     Scalar,   ///< the seed's reference loops
+    Simd,     ///< AVX2/NEON vector bodies (falls back to Blocked at runtime)
 };
 
 /// Process-wide default, read once from the ARCADE_KERNELS environment
-/// variable ("scalar" selects the reference loops; anything else, or unset,
-/// the blocked kernels).
+/// variable ("scalar" selects the reference loops, "simd" the vector
+/// bodies; anything else, or unset, the blocked kernels).
 [[nodiscard]] KernelMode default_kernel_mode();
+
+/// True when the running CPU supports the SIMD bodies (AVX2 on x86-64,
+/// NEON on aarch64).  When false, KernelMode::Simd resolves to Blocked.
+[[nodiscard]] bool simd_available();
 
 /// Current mode; initially default_kernel_mode().
 [[nodiscard]] KernelMode kernel_mode();

@@ -1,4 +1,12 @@
 // Dense vector helpers for probability vectors.
+//
+// l1_distance, dot and axpy honour the process-wide kernel mode
+// (linalg/kernels.hpp): under KernelMode::Simd their element-wise work
+// (subtract/abs/multiply) runs vectorised, with every accumulation chained
+// in the same sequential order as the reference loops — bitwise-identical
+// results across all modes.  The pure running-sum helpers (sum,
+// neumaier_sum, the max-reductions) are inherently sequential and have a
+// single variant.
 #ifndef ARCADE_LINALG_VECTOR_OPS_HPP
 #define ARCADE_LINALG_VECTOR_OPS_HPP
 
@@ -18,6 +26,13 @@ namespace arcade::linalg {
 
 /// sum of entries.
 [[nodiscard]] double sum(std::span<const double> v);
+
+/// Neumaier-compensated sum of entries: a running total with a separate
+/// compensation term that absorbs the rounding error of each add, folded
+/// into the total once at the end.  Strictly sequential (the compensation
+/// depends on every preceding add), so there is exactly one variant; the
+/// Fox–Glynn weight normalisation is built on this.
+[[nodiscard]] double neumaier_sum(std::span<const double> v);
 
 /// dot product.
 [[nodiscard]] double dot(std::span<const double> a, std::span<const double> b);

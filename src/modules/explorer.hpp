@@ -31,9 +31,12 @@ struct ExploreOptions {
     /// Worker threads for the sharded BFS; 0 = hardware concurrency.
     unsigned threads = 0;
     /// Evaluator for guards/rates/assignments/labels/rewards.  The default
-    /// compiles every expression to bytecode once per model (expr::vm); the
-    /// tree interpreter (ARCADE_EVAL=interp, or set explicitly here) is the
-    /// oracle — both produce bitwise-identical chains.
+    /// compiles every expression to bytecode once per model (expr::vm);
+    /// ARCADE_EVAL=codegen batches all of the model's programs into one
+    /// generated C++ unit compiled out of process and dlopen'ed
+    /// (expr/codegen, falling back to the VM when no toolchain is
+    /// available); the tree interpreter (ARCADE_EVAL=interp) is the root
+    /// oracle — all three produce bitwise-identical chains.
     expr::EvalMode eval = expr::default_eval_mode();
     /// On-the-fly symmetry reduction (ARCADE_SYMMETRY=off|auto): under Auto
     /// the explorer runs modules::analyze_symmetry and explores the orbit

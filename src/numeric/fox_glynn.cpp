@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "linalg/vector_ops.hpp"
 #include "support/errors.hpp"
 
 namespace arcade::numeric {
@@ -66,14 +67,7 @@ PoissonWeights fox_glynn(double q, double epsilon) {
         // Neumaier-compensated sum: the window can hold millions of terms
         // and a naively accumulated total would carry more rounding error
         // than the epsilons we must certify.
-        double total = 0.0;
-        double comp = 0.0;
-        for (double x : w) {
-            const double t = total + x;
-            comp += std::abs(total) >= std::abs(x) ? (total - t) + x : (x - t) + total;
-            total = t;
-        }
-        total += comp;
+        const double total = linalg::neumaier_sum(w);
         // Certify coverage via geometric tail bounds in the same scaled
         // units as the weights.  (total * pmf(mode) is useless here: the
         // log-pmf cancels ~q-sized terms, so its error alone exceeds tight

@@ -1,7 +1,12 @@
 // Unit tests: sparse matrices and vector helpers.
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <limits>
+#include <vector>
+
 #include "linalg/csr_matrix.hpp"
+#include "linalg/kernels.hpp"
 #include "linalg/vector_ops.hpp"
 #include "support/errors.hpp"
 
@@ -97,4 +102,233 @@ TEST(VectorOps, Axpy) {
     la::axpy(0.5, x, y);
     EXPECT_DOUBLE_EQ(y[0], 10.5);
     EXPECT_DOUBLE_EQ(y[1], 21.0);
+}
+
+TEST(VectorOps, NeumaierSumCompensatesCancellation) {
+    // A naive left-to-right sum of these is 0.0; the compensation term
+    // recovers the unit that cancellation swallows.
+    const std::vector<double> v{1.0e16, 1.0, -1.0e16};
+    EXPECT_DOUBLE_EQ(la::neumaier_sum(v), 1.0);
+    const std::vector<double> plain{0.25, 0.5, 0.125};
+    EXPECT_DOUBLE_EQ(la::neumaier_sum(plain), la::sum(plain));
+    EXPECT_DOUBLE_EQ(la::neumaier_sum({}), 0.0);
+}
+
+// --- Kernel-mode bitwise identity on deliberately awkward inputs ----------
+//
+// The SIMD variants' whole contract is "same bits, fewer cycles": every
+// mode must agree byte for byte on empty rows, single-entry rows, rows
+// longer than any unroll width, dimensions that are not a multiple of the
+// vector width, and NaN/inf payloads.  One IEEE caveat shapes the inputs:
+// when BOTH operands of an add are NaNs with different payloads the result
+// takes the payload of whichever operand the compiler put first, so the
+// identity only covers inputs whose NaNs all share one payload.  The tests
+// therefore exercise two special classes separately — ±inf (every NaN they
+// generate is the arch's default quiet NaN) and injected quiet NaNs (all
+// bit-identical) — rather than mixing the two payloads in one reduction.
+
+namespace {
+
+/// RAII mode switch so a failing assertion cannot leak a non-default
+/// kernel mode into later tests.
+class KernelModeGuard {
+public:
+    explicit KernelModeGuard(la::KernelMode mode) : saved_(la::kernel_mode()) {
+        la::set_kernel_mode(mode);
+    }
+    ~KernelModeGuard() { la::set_kernel_mode(saved_); }
+    KernelModeGuard(const KernelModeGuard&) = delete;
+    KernelModeGuard& operator=(const KernelModeGuard&) = delete;
+
+private:
+    la::KernelMode saved_;
+};
+
+bool same_bits(std::span<const double> a, std::span<const double> b) {
+    return a.size() == b.size() &&
+           std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+bool same_bits(double a, double b) { return std::memcmp(&a, &b, sizeof a) == 0; }
+
+/// 23x23 (not a multiple of any vector width) with empty rows, one-entry
+/// rows, long rows and a mix of rows with and without a stored diagonal.
+la::CsrMatrix edge_matrix() {
+    constexpr std::size_t n = 23;
+    la::CsrBuilder b(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+        const std::size_t len = (r * 5) % 9;  // row lengths 0..8
+        for (std::size_t k = 0; k < len; ++k) {
+            const std::size_t c = (r + 3 * k + 1) % n;
+            const double sign = k % 2 == 0 ? 1.0 : -1.0;
+            b.add(r, c, sign * (1.0 + 0.25 * static_cast<double>(k) +
+                                0.125 * static_cast<double>(r)));
+        }
+        if (r % 2 == 0 && len > 0) b.add(r, r, 2.0 + 0.5 * static_cast<double>(r));
+    }
+    return b.build();
+}
+
+enum class Specials { None, Inf, NaN };
+
+std::vector<double> edge_vector(std::size_t n, Specials specials) {
+    std::vector<double> v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        v[i] = 0.25 * static_cast<double>(i) - 2.0;
+    }
+    if (n > 0) v[0] = 0.0;  // exercises the uniformised in[i]==0 row skip
+    if (n >= 18) {
+        switch (specials) {
+            case Specials::Inf:
+                v[3] = std::numeric_limits<double>::infinity();
+                v[11] = -std::numeric_limits<double>::infinity();
+                break;
+            case Specials::NaN:
+                v[3] = std::numeric_limits<double>::quiet_NaN();
+                v[17] = std::numeric_limits<double>::quiet_NaN();
+                break;
+            case Specials::None: break;
+        }
+    }
+    return v;
+}
+
+constexpr la::KernelMode kModes[] = {la::KernelMode::Scalar, la::KernelMode::Blocked,
+                                     la::KernelMode::Simd};
+
+const char* mode_name(la::KernelMode mode) {
+    switch (mode) {
+        case la::KernelMode::Scalar: return "scalar";
+        case la::KernelMode::Blocked: return "blocked";
+        default: return "simd";
+    }
+}
+
+void expect_all_modes_identical(Specials specials) {
+    const la::CsrMatrix m = edge_matrix();
+    const std::size_t n = m.rows();
+    const std::vector<double> x = edge_vector(n, specials);
+    const double lambda = 3.5;
+
+    std::vector<double> ref_left(n), ref_right(n), ref_uleft(n), ref_uright(n);
+    {
+        const KernelModeGuard guard(la::KernelMode::Scalar);
+        la::multiply_left(m, x, ref_left);
+        la::multiply_right(m, x, ref_right);
+        la::uniformised_multiply_left(m, lambda, x, ref_uleft);
+        la::uniformised_multiply_right(m, lambda, x, ref_uright);
+    }
+
+    for (const la::KernelMode mode : kModes) {
+        const KernelModeGuard guard(mode);
+        std::vector<double> y(n, 0.5);  // poisoned: kernels must overwrite
+        la::multiply_left(m, x, y);
+        EXPECT_TRUE(same_bits(y, ref_left)) << "multiply_left " << mode_name(mode);
+        la::multiply_right(m, x, y);
+        EXPECT_TRUE(same_bits(y, ref_right)) << "multiply_right " << mode_name(mode);
+        la::uniformised_multiply_left(m, lambda, x, y);
+        EXPECT_TRUE(same_bits(y, ref_uleft))
+            << "uniformised_multiply_left " << mode_name(mode);
+        la::uniformised_multiply_right(m, lambda, x, y);
+        EXPECT_TRUE(same_bits(y, ref_uright))
+            << "uniformised_multiply_right " << mode_name(mode);
+    }
+}
+
+}  // namespace
+
+TEST(Kernels, AllModesBitwiseIdenticalOnEdgeShapes) {
+    expect_all_modes_identical(Specials::None);
+}
+
+TEST(Kernels, InfinitiesPropagateIdenticallyAcrossModes) {
+    expect_all_modes_identical(Specials::Inf);
+}
+
+TEST(Kernels, NansPropagateIdenticallyAcrossModes) {
+    expect_all_modes_identical(Specials::NaN);
+}
+
+TEST(Kernels, GatherHelpersAgreeAcrossModes) {
+    // Row shapes 0, 1, 2 and 7 entries; x carries NaN and inf so the fold
+    // order is observable in the bits.
+    const std::vector<std::size_t> cols{0, 2, 3, 5, 6, 7, 9};
+    const std::vector<double> vals{0.5, -1.25, 2.0, 0.375, -0.75, 4.0, 1.5};
+    std::vector<double> x(10);
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] = 1.0 / (static_cast<double>(i) + 0.5);
+    x[5] = std::numeric_limits<double>::infinity();
+    x[9] = std::numeric_limits<double>::quiet_NaN();
+
+    for (const std::size_t len : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                                  std::size_t{7}}) {
+        const std::span<const std::size_t> c(cols.data(), len);
+        const std::span<const double> v(vals.data(), len);
+        for (const std::size_t skip : {std::size_t{3}, std::size_t{21}}) {
+            double ref_skip = 0.0;
+            double ref_cap = 0.0;
+            double ref_diag = 0.0;
+            {
+                const KernelModeGuard guard(la::KernelMode::Scalar);
+                ref_skip = la::gather_skip_diag(c, v, x, skip, 0.0625);
+                ref_cap = la::gather_capture_diag(c, v, x, skip, 0.0625, ref_diag);
+            }
+            for (const la::KernelMode mode : kModes) {
+                const KernelModeGuard guard(mode);
+                double diag = -1.0;
+                EXPECT_TRUE(same_bits(la::gather_skip_diag(c, v, x, skip, 0.0625),
+                                      ref_skip))
+                    << "gather_skip_diag " << mode_name(mode) << " len " << len;
+                EXPECT_TRUE(same_bits(
+                    la::gather_capture_diag(c, v, x, skip, 0.0625, diag), ref_cap))
+                    << "gather_capture_diag " << mode_name(mode) << " len " << len;
+                EXPECT_TRUE(same_bits(diag, ref_diag))
+                    << "captured diagonal " << mode_name(mode) << " len " << len;
+            }
+        }
+    }
+}
+
+TEST(Kernels, VectorOpsAgreeAcrossModesOnAwkwardLengths) {
+    for (const Specials specials : {Specials::None, Specials::Inf, Specials::NaN}) {
+        for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                                    std::size_t{3}, std::size_t{5}, std::size_t{18}}) {
+            const std::vector<double> a = edge_vector(n, specials);
+            std::vector<double> b(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                b[i] = 0.125 * static_cast<double>(i) + 0.5;
+            }
+
+            double ref_l1 = 0.0;
+            double ref_dot = 0.0;
+            std::vector<double> ref_axpy = b;
+            {
+                const KernelModeGuard guard(la::KernelMode::Scalar);
+                ref_l1 = la::l1_distance(a, b);
+                ref_dot = la::dot(a, b);
+                la::axpy(-0.75, a, ref_axpy);
+            }
+            for (const la::KernelMode mode : kModes) {
+                const KernelModeGuard guard(mode);
+                EXPECT_TRUE(same_bits(la::l1_distance(a, b), ref_l1))
+                    << "l1_distance " << mode_name(mode) << " n " << n;
+                EXPECT_TRUE(same_bits(la::dot(a, b), ref_dot))
+                    << "dot " << mode_name(mode) << " n " << n;
+                std::vector<double> y = b;
+                la::axpy(-0.75, a, y);
+                EXPECT_TRUE(same_bits(y, ref_axpy))
+                    << "axpy " << mode_name(mode) << " n " << n;
+            }
+        }
+    }
+}
+
+TEST(Kernels, SimdModeAlwaysDispatchable) {
+    // Whether or not the CPU has the extension, Simd mode must be safe to
+    // select (it resolves to Blocked when simd_available() is false).
+    const KernelModeGuard guard(la::KernelMode::Simd);
+    const la::CsrMatrix m = edge_matrix();
+    std::vector<double> x(m.cols(), 1.0);
+    std::vector<double> y(m.rows(), 0.0);
+    la::multiply_right(m, x, y);
+    SUCCEED() << (la::simd_available() ? "simd bodies" : "blocked fallback");
 }
