@@ -2,16 +2,13 @@
 
 #include <algorithm>
 
+#include "engine/workspace.hpp"
 #include "linalg/kernels.hpp"
 #include "numeric/fox_glynn.hpp"
 #include "support/errors.hpp"
 
 namespace arcade::ctmc {
 
-namespace {
-
-/// Builds the transformed chain for Phi U<=t Psi: states in Psi or in
-/// neither Phi nor Psi become absorbing.
 Ctmc until_transform(const Ctmc& chain, const std::vector<bool>& phi,
                      const std::vector<bool>& psi) {
     const std::size_t n = chain.state_count();
@@ -23,15 +20,13 @@ Ctmc until_transform(const Ctmc& chain, const std::vector<bool>& phi,
     return chain.make_absorbing(absorbing);
 }
 
-double mass_in(const std::vector<double>& dist, const std::vector<bool>& set) {
+double mass_in(std::span<const double> dist, const std::vector<bool>& set) {
     double p = 0.0;
     for (std::size_t s = 0; s < dist.size(); ++s) {
         if (set[s]) p += dist[s];
     }
     return p;
 }
-
-}  // namespace
 
 double bounded_until_probability(const Ctmc& chain, std::span<const double> initial,
                                  const std::vector<bool>& phi, const std::vector<bool>& psi,
@@ -63,6 +58,8 @@ std::vector<double> bounded_until_all_states(const Ctmc& chain, const std::vecto
     const Ctmc transformed = until_transform(chain, phi, psi);
     const std::size_t n = chain.state_count();
 
+    // `cur` can be the return value (the zero-rate short-circuit) and `acc`
+    // always is — both escape, so only `next` routes through the pool.
     std::vector<double> cur(n, 0.0);
     for (std::size_t s = 0; s < n; ++s) cur[s] = psi[s] ? 1.0 : 0.0;
 
@@ -73,10 +70,11 @@ std::vector<double> bounded_until_all_states(const Ctmc& chain, const std::vecto
 
     // Backward recurrence: v(t) = sum_k pois_k(q t) * P^k * 1_psi.
     const double lambda = max_rate * 1.02;
-    const auto weights = numeric::fox_glynn(lambda * t, options.epsilon);
+    const auto weights = numeric::fox_glynn_cached(lambda * t, options.epsilon);
 
     std::vector<double> acc(n, 0.0);
-    std::vector<double> next(n, 0.0);
+    engine::ScratchVector next_scratch(options.workspace, n);
+    std::vector<double>& next = next_scratch.get();
 
     const auto& rates = transformed.rates();
     // next = P * cur  (column-vector form of the uniformised matrix)
@@ -87,11 +85,11 @@ std::vector<double> bounded_until_all_states(const Ctmc& chain, const std::vecto
 
     // Below the Fox–Glynn window every weight is zero: advance cur to
     // P^left * 1_psi with bare power iterations, no accumulation pass.
-    for (std::size_t k = 0; k < weights.left; ++k) power_step();
-    for (std::size_t k = weights.left;; ++k) {
-        const double w = weights.weight(k);
+    for (std::size_t k = 0; k < weights->left; ++k) power_step();
+    for (std::size_t k = weights->left;; ++k) {
+        const double w = weights->weight(k);
         for (std::size_t i = 0; i < n; ++i) acc[i] += w * cur[i];
-        if (k == weights.right) break;
+        if (k == weights->right) break;
         power_step();
     }
     return acc;

@@ -47,7 +47,9 @@ TransientEvolver::~TransientEvolver() {
 void TransientEvolver::step(double dt) {
     if (dt <= 0.0) return;
     const double q = lambda_ * dt;
-    const auto weights = numeric::fox_glynn(q, options_.epsilon);
+    // Every evolver stepping the same grid over the same chain asks for the
+    // same (q, epsilon): share the weights through the process-wide cache.
+    const auto weights = numeric::fox_glynn_cached(q, options_.epsilon);
 
     // result = sum_k w_k * dist * P^k
     std::vector<double>& acc = scratch_a_;
@@ -57,11 +59,11 @@ void TransientEvolver::step(double dt) {
 
     // k = 0 .. right
     for (std::size_t k = 0;; ++k) {
-        const double w = weights.weight(k);
+        const double w = weights->weight(k);
         if (w != 0.0) {
             for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += w * cur[i];
         }
-        if (k == weights.right) break;
+        if (k == weights->right) break;
         // cur = cur * P; reuse dist_ as the step target then swap.
         uniformised_step(chain_, lambda_, cur, dist_);
         std::swap(cur, dist_);

@@ -357,6 +357,14 @@ SessionStats AnalysisSession::stats() const {
     return out;
 }
 
+void AnalysisSession::record_batch(std::size_t cells, std::size_t columns,
+                                   double seconds) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.batch_cells_fused += cells;
+    stats_.batch_columns += columns;
+    stats_.batch_seconds += seconds;
+}
+
 void AnalysisSession::clear() {
     std::lock_guard<std::mutex> lock(mutex_);
     compiled_.clear();

@@ -84,6 +84,14 @@ struct SessionStats {
     std::size_t codegen_builds = 0;
     std::size_t codegen_cache_hits = 0;
     std::size_t codegen_fallbacks = 0;
+    /// Batched transient evolution (sweep fusion pass, ARCADE_BATCH=auto):
+    /// sweep cells that were evolved inside a fused batch instead of with
+    /// their own TransientEvolver, distinct distribution columns those
+    /// batches carried, and the wall seconds spent inside batch evaluation.
+    /// All zero under BatchPolicy::Off.
+    std::size_t batch_cells_fused = 0;
+    std::size_t batch_columns = 0;
+    double batch_seconds = 0.0;
 
     /// Aggregate state-space reduction achieved by lumping (>= 1; 1.0 when
     /// nothing was lumped).
@@ -126,7 +134,10 @@ struct SessionStats {
                         after.symmetry_seconds - before.symmetry_seconds,
                         after.codegen_builds - before.codegen_builds,
                         after.codegen_cache_hits - before.codegen_cache_hits,
-                        after.codegen_fallbacks - before.codegen_fallbacks};
+                        after.codegen_fallbacks - before.codegen_fallbacks,
+                        after.batch_cells_fused - before.batch_cells_fused,
+                        after.batch_columns - before.batch_columns,
+                        after.batch_seconds - before.batch_seconds};
 }
 
 /// Structural fingerprint of a model (stable across identical rebuilds of
@@ -195,6 +206,11 @@ public:
     [[nodiscard]] WorkspacePool& workspace() noexcept { return workspace_; }
 
     [[nodiscard]] SessionStats stats() const;
+
+    /// Records one fused batch evaluation (sweep fusion pass): `cells` work
+    /// items served, `columns` distinct distribution columns evolved,
+    /// `seconds` wall time spent.
+    void record_batch(std::size_t cells, std::size_t columns, double seconds);
 
     /// Drops every cached artefact (models, distributions, scratch).
     void clear();

@@ -230,6 +230,210 @@ void uniformised_left_blocked(const CsrMatrix& rates, double lambda,
     }
 }
 
+// ---------------------------------------------------------------------------
+// Batch (multi-RHS) bodies.  The scalar variants literally re-run the
+// single-vector scalar loop per column over the strided block — they ARE the
+// identity the fast variants must reproduce.  The blocked variants walk the
+// matrix once and serve every column from each entry; per-column update
+// order is still ascending (r,k), and the per-column zero skip is kept
+// (it is semantic, not an optimisation: skipped columns must receive NO
+// update at that row, exactly like the single-vector kernel's row skip).
+// ---------------------------------------------------------------------------
+
+void multiply_left_batch_scalar(const CsrMatrix& m, std::span<const double> x,
+                                std::span<double> y, std::size_t width) {
+    std::fill(y.begin(), y.end(), 0.0);
+    const auto& row_ptr = m.row_ptr();
+    const auto& col_idx = m.col_idx();
+    const auto& values = m.values();
+    for (std::size_t c = 0; c < width; ++c) {
+        for (std::size_t r = 0; r < m.rows(); ++r) {
+            const double xr = x[r * width + c];
+            if (xr == 0.0) continue;
+            for (std::size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+                y[col_idx[k] * width + c] += xr * values[k];
+            }
+        }
+    }
+}
+
+void multiply_left_batch_blocked(const CsrMatrix& m, std::span<const double> x,
+                                 std::span<double> y, std::size_t width) {
+    std::fill(y.begin(), y.end(), 0.0);
+    const std::size_t* __restrict row_ptr = m.row_ptr().data();
+    const std::size_t* __restrict cols = m.col_idx().data();
+    const double* __restrict vals = m.values().data();
+    const double* __restrict xp = x.data();
+    double* __restrict yp = y.data();
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        const double* __restrict xr = xp + r * width;
+        // The per-column guard only protects zero columns (from 0·±inf→NaN
+        // and from flipping a -0 accumulator to +0); when the whole row
+        // block is live it guards nothing, so the dense path runs the same
+        // arithmetic branch-free — which is what lets the compiler
+        // vectorise the column loop.
+        bool any = false;
+        bool all = true;
+        for (std::size_t c = 0; c < width; ++c) {
+            const bool live = xr[c] != 0.0;
+            any = any || live;
+            all = all && live;
+        }
+        if (!any) continue;
+        if (all) {
+            for (std::size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+                const double v = vals[k];
+                double* __restrict yr = yp + cols[k] * width;
+                for (std::size_t c = 0; c < width; ++c) yr[c] += xr[c] * v;
+            }
+        } else {
+            for (std::size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+                const double v = vals[k];
+                double* __restrict yr = yp + cols[k] * width;
+                for (std::size_t c = 0; c < width; ++c) {
+                    const double p = xr[c];
+                    if (p != 0.0) yr[c] += p * v;
+                }
+            }
+        }
+    }
+}
+
+void multiply_right_batch_scalar(const CsrMatrix& m, std::span<const double> x,
+                                 std::span<double> y, std::size_t width) {
+    const auto& row_ptr = m.row_ptr();
+    const auto& col_idx = m.col_idx();
+    const auto& values = m.values();
+    for (std::size_t c = 0; c < width; ++c) {
+        for (std::size_t r = 0; r < m.rows(); ++r) {
+            double acc = 0.0;
+            for (std::size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+                acc += values[k] * x[col_idx[k] * width + c];
+            }
+            y[r * width + c] = acc;
+        }
+    }
+}
+
+void multiply_right_batch_blocked(const CsrMatrix& m, std::span<const double> x,
+                                  std::span<double> y, std::size_t width) {
+    const std::size_t* __restrict row_ptr = m.row_ptr().data();
+    const std::size_t* __restrict cols = m.col_idx().data();
+    const double* __restrict vals = m.values().data();
+    const double* __restrict xp = x.data();
+    double* __restrict yp = y.data();
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        double* __restrict yr = yp + r * width;
+        for (std::size_t c = 0; c < width; ++c) yr[c] = 0.0;
+        // Per column the accumulation is the plain ascending-k chain — the
+        // width independent chains already give the ILP the single-vector
+        // kernel needed four-row blocking for.
+        for (std::size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+            const double v = vals[k];
+            const double* __restrict xc = xp + cols[k] * width;
+            for (std::size_t c = 0; c < width; ++c) yr[c] += v * xc[c];
+        }
+    }
+}
+
+void uniformised_left_batch_scalar(const CsrMatrix& rates, double lambda,
+                                   std::span<const double> in, std::span<double> out,
+                                   std::size_t width) {
+    std::fill(out.begin(), out.end(), 0.0);
+    for (std::size_t c = 0; c < width; ++c) {
+        for (std::size_t i = 0; i < rates.rows(); ++i) {
+            const double p = in[i * width + c];
+            if (p == 0.0) continue;
+            const auto cols = rates.row_columns(i);
+            const auto vals = rates.row_values(i);
+            double moved = 0.0;
+            for (std::size_t k = 0; k < cols.size(); ++k) {
+                if (cols[k] == i) continue;
+                const double q = vals[k] / lambda;
+                out[cols[k] * width + c] += p * q;
+                moved += q;
+            }
+            out[i * width + c] += p * (1.0 - moved);
+        }
+    }
+}
+
+/// Off-diagonal batch scatter over [begin,end): ONE division per entry
+/// serves every column, and `moved` (column-independent) is chained
+/// sequentially in the same ascending order as the single-vector loops.
+/// kDense = every column of this row block is non-zero: the per-column
+/// guard only protects zero columns (from 0·±inf→NaN and from flipping a
+/// -0 accumulator to +0), so dropping it for fully-live rows performs the
+/// identical arithmetic while letting the compiler vectorise the column
+/// loop.  Transient distributions go strictly positive after a few steps,
+/// so the dense instantiation is the steady state of every batched sweep.
+template <bool kDense>
+inline double scatter_range_batch(const std::size_t* __restrict cols,
+                                  const double* __restrict vals,
+                                  const double* __restrict p, double lambda,
+                                  double* __restrict out, std::size_t begin,
+                                  std::size_t end, std::size_t width, double moved) {
+    for (std::size_t k = begin; k < end; ++k) {
+        const double q = vals[k] / lambda;
+        double* __restrict o = out + cols[k] * width;
+        for (std::size_t c = 0; c < width; ++c) {
+            const double pc = p[c];
+            if (kDense || pc != 0.0) o[c] += pc * q;
+        }
+        moved += q;
+    }
+    return moved;
+}
+
+void uniformised_left_batch_blocked(const CsrMatrix& rates, double lambda,
+                                    std::span<const double> in, std::span<double> out,
+                                    std::size_t width) {
+    std::fill(out.begin(), out.end(), 0.0);
+    const std::size_t* __restrict row_ptr = rates.row_ptr().data();
+    const std::size_t* __restrict cols = rates.col_idx().data();
+    const double* __restrict vals = rates.values().data();
+    const double* __restrict ip = in.data();
+    double* __restrict op = out.data();
+    for (std::size_t i = 0; i < rates.rows(); ++i) {
+        const double* __restrict p = ip + i * width;
+        bool any = false;
+        bool all = true;
+        for (std::size_t c = 0; c < width; ++c) {
+            const bool live = p[c] != 0.0;
+            any = any || live;
+            all = all && live;
+        }
+        if (!any) continue;
+        const std::size_t begin = row_ptr[i];
+        const std::size_t end = row_ptr[i + 1];
+        const std::size_t diag = find_diag(cols, begin, end, i);
+        double moved;
+        if (all) {
+            moved = scatter_range_batch<true>(cols, vals, p, lambda, op, begin, diag,
+                                              width, 0.0);
+            if (diag != end) {
+                moved = scatter_range_batch<true>(cols, vals, p, lambda, op, diag + 1,
+                                                  end, width, moved);
+            }
+            double* __restrict oi = op + i * width;
+            const double retained = 1.0 - moved;
+            for (std::size_t c = 0; c < width; ++c) oi[c] += p[c] * retained;
+        } else {
+            moved = scatter_range_batch<false>(cols, vals, p, lambda, op, begin, diag,
+                                               width, 0.0);
+            if (diag != end) {
+                moved = scatter_range_batch<false>(cols, vals, p, lambda, op, diag + 1,
+                                                   end, width, moved);
+            }
+            double* __restrict oi = op + i * width;
+            const double retained = 1.0 - moved;
+            for (std::size_t c = 0; c < width; ++c) {
+                if (p[c] != 0.0) oi[c] += p[c] * retained;
+            }
+        }
+    }
+}
+
 void uniformised_right_scalar(const CsrMatrix& rates, double lambda,
                               std::span<const double> cur, std::span<double> next) {
     for (std::size_t i = 0; i < rates.rows(); ++i) {
@@ -586,6 +790,115 @@ ARCADE_SIMD_TARGET void uniformised_right_simd(const CsrMatrix& rates, double la
     }
 }
 
+// Batch simd variants.  The multiply batch kernels dispatch to the blocked
+// bodies on both ISAs: the batch layout's inner per-column loop is already
+// the element-wise form, contiguous in memory, and the compiler vectorises
+// it at the baseline ISA without any reassociation to forbid — a hand
+// vector body has nothing left to win.  The uniformised batch kernel keeps
+// the division win on x86: vdivpd retires four vals[k]/lambda at once and
+// each quotient is then scattered to its columns, with `moved` folded lane
+// by lane in scalar order.  On NEON the single division per entry is
+// already amortised across the whole block, so the two-lane vdivq trick of
+// the single-vector path has no leverage and the blocked body is used.
+
+#if defined(ARCADE_SIMD_X86)
+
+/// kDense as in scatter_range_batch: fully-live rows drop the per-column
+/// guard (identical arithmetic, see there) so the scatter loop vectorises.
+template <bool kDense>
+ARCADE_SIMD_TARGET double scatter_range_batch_simd(
+    const std::size_t* __restrict cols, const double* __restrict vals,
+    const double* __restrict p, double lambda, double* __restrict out,
+    std::size_t begin, std::size_t end, std::size_t width, double moved) {
+    std::size_t k = begin;
+    const __m256d lam = _mm256_set1_pd(lambda);
+    for (; k + 4 <= end; k += 4) {
+        const __m256d qv = _mm256_div_pd(_mm256_loadu_pd(vals + k), lam);
+        alignas(32) double q[4];
+        _mm256_store_pd(q, qv);
+        for (int j = 0; j < 4; ++j) {
+            const double qj = q[j];
+            double* __restrict o = out + cols[k + static_cast<std::size_t>(j)] * width;
+            for (std::size_t c = 0; c < width; ++c) {
+                const double pc = p[c];
+                if (kDense || pc != 0.0) o[c] += pc * qj;
+            }
+        }
+        moved = fold_lanes_ordered(qv, moved);
+    }
+    for (; k < end; ++k) {
+        const double q = vals[k] / lambda;
+        double* __restrict o = out + cols[k] * width;
+        for (std::size_t c = 0; c < width; ++c) {
+            const double pc = p[c];
+            if (kDense || pc != 0.0) o[c] += pc * q;
+        }
+        moved += q;
+    }
+    return moved;
+}
+
+ARCADE_SIMD_TARGET void uniformised_left_batch_simd(const CsrMatrix& rates,
+                                                    double lambda,
+                                                    std::span<const double> in,
+                                                    std::span<double> out,
+                                                    std::size_t width) {
+    std::fill(out.begin(), out.end(), 0.0);
+    const std::size_t* __restrict row_ptr = rates.row_ptr().data();
+    const std::size_t* __restrict cols = rates.col_idx().data();
+    const double* __restrict vals = rates.values().data();
+    const double* __restrict ip = in.data();
+    double* __restrict op = out.data();
+    for (std::size_t i = 0; i < rates.rows(); ++i) {
+        const double* __restrict p = ip + i * width;
+        bool any = false;
+        bool all = true;
+        for (std::size_t c = 0; c < width; ++c) {
+            const bool live = p[c] != 0.0;
+            any = any || live;
+            all = all && live;
+        }
+        if (!any) continue;
+        const std::size_t begin = row_ptr[i];
+        const std::size_t end = row_ptr[i + 1];
+        const std::size_t diag = find_diag(cols, begin, end, i);
+        double moved;
+        if (all) {
+            moved = scatter_range_batch_simd<true>(cols, vals, p, lambda, op, begin,
+                                                   diag, width, 0.0);
+            if (diag != end) {
+                moved = scatter_range_batch_simd<true>(cols, vals, p, lambda, op,
+                                                       diag + 1, end, width, moved);
+            }
+            double* __restrict oi = op + i * width;
+            const double retained = 1.0 - moved;
+            for (std::size_t c = 0; c < width; ++c) oi[c] += p[c] * retained;
+        } else {
+            moved = scatter_range_batch_simd<false>(cols, vals, p, lambda, op, begin,
+                                                    diag, width, 0.0);
+            if (diag != end) {
+                moved = scatter_range_batch_simd<false>(cols, vals, p, lambda, op,
+                                                        diag + 1, end, width, moved);
+            }
+            double* __restrict oi = op + i * width;
+            const double retained = 1.0 - moved;
+            for (std::size_t c = 0; c < width; ++c) {
+                if (p[c] != 0.0) oi[c] += p[c] * retained;
+            }
+        }
+    }
+}
+
+#else  // NEON
+
+void uniformised_left_batch_simd(const CsrMatrix& rates, double lambda,
+                                 std::span<const double> in, std::span<double> out,
+                                 std::size_t width) {
+    uniformised_left_batch_blocked(rates, lambda, in, out, width);
+}
+
+#endif  // batch simd variants
+
 #endif  // ARCADE_SIMD_ARCH
 
 }  // namespace
@@ -645,6 +958,55 @@ void uniformised_multiply_right(const CsrMatrix& rates, double lambda,
             uniformised_right_blocked(rates, lambda, cur, next);
             return;
         default: uniformised_right_scalar(rates, lambda, cur, next); return;
+    }
+}
+
+void multiply_left_batch(const CsrMatrix& m, std::span<const double> x,
+                         std::span<double> y, std::size_t width) {
+    ARCADE_ASSERT(width > 0, "multiply_left_batch: zero width");
+    ARCADE_ASSERT(x.size() == m.rows() * width && y.size() == m.cols() * width,
+                  "multiply_left_batch shape mismatch");
+    switch (effective_mode()) {
+#if defined(ARCADE_SIMD_ARCH)
+        // Dispatches to the blocked body on every ISA (see the batch simd
+        // block comment); kept as a case so the mode contract stays total.
+        case KernelMode::Simd: multiply_left_batch_blocked(m, x, y, width); return;
+#endif
+        case KernelMode::Blocked: multiply_left_batch_blocked(m, x, y, width); return;
+        default: multiply_left_batch_scalar(m, x, y, width); return;
+    }
+}
+
+void multiply_right_batch(const CsrMatrix& m, std::span<const double> x,
+                          std::span<double> y, std::size_t width) {
+    ARCADE_ASSERT(width > 0, "multiply_right_batch: zero width");
+    ARCADE_ASSERT(x.size() == m.cols() * width && y.size() == m.rows() * width,
+                  "multiply_right_batch shape mismatch");
+    switch (effective_mode()) {
+#if defined(ARCADE_SIMD_ARCH)
+        case KernelMode::Simd: multiply_right_batch_blocked(m, x, y, width); return;
+#endif
+        case KernelMode::Blocked: multiply_right_batch_blocked(m, x, y, width); return;
+        default: multiply_right_batch_scalar(m, x, y, width); return;
+    }
+}
+
+void uniformised_multiply_left_batch(const CsrMatrix& rates, double lambda,
+                                     std::span<const double> in, std::span<double> out,
+                                     std::size_t width) {
+    ARCADE_ASSERT(width > 0, "uniformised_multiply_left_batch: zero width");
+    ARCADE_ASSERT(in.size() == rates.rows() * width && out.size() == rates.rows() * width,
+                  "uniformised_multiply_left_batch shape mismatch");
+    switch (effective_mode()) {
+#if defined(ARCADE_SIMD_ARCH)
+        case KernelMode::Simd:
+            uniformised_left_batch_simd(rates, lambda, in, out, width);
+            return;
+#endif
+        case KernelMode::Blocked:
+            uniformised_left_batch_blocked(rates, lambda, in, out, width);
+            return;
+        default: uniformised_left_batch_scalar(rates, lambda, in, out, width); return;
     }
 }
 

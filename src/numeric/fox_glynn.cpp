@@ -1,6 +1,12 @@
 #include "numeric/fox_glynn.hpp"
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <utility>
 
 #include "linalg/vector_ops.hpp"
 #include "support/errors.hpp"
@@ -100,6 +106,78 @@ PoissonWeights fox_glynn(double q, double epsilon) {
                 std::to_string(left) + ", " + std::to_string(right) + "])");
         }
     }
+}
+
+namespace {
+
+// Exact-bits key: distinct doubles (including -0.0 vs +0.0 and NaN payloads)
+// get distinct entries, so a cache hit can only ever return weights computed
+// from the very same inputs.
+using CacheKey = std::pair<std::uint64_t, std::uint64_t>;
+
+struct FoxGlynnCache {
+    std::mutex mutex;
+    // Most-recent at the front; `index` maps keys to their list position so
+    // a hit is one splice, an eviction one pop_back.
+    std::list<std::pair<CacheKey, std::shared_ptr<const PoissonWeights>>> lru;
+    std::map<CacheKey, decltype(lru)::iterator> index;
+    FoxGlynnCacheStats stats;
+    static constexpr std::size_t kCapacity = 64;
+};
+
+FoxGlynnCache& cache() {
+    static FoxGlynnCache instance;
+    return instance;
+}
+
+}  // namespace
+
+std::shared_ptr<const PoissonWeights> fox_glynn_cached(double q, double epsilon) {
+    const CacheKey key{std::bit_cast<std::uint64_t>(q),
+                       std::bit_cast<std::uint64_t>(epsilon)};
+    FoxGlynnCache& c = cache();
+    {
+        std::lock_guard<std::mutex> lock(c.mutex);
+        const auto it = c.index.find(key);
+        if (it != c.index.end()) {
+            c.lru.splice(c.lru.begin(), c.lru, it->second);
+            ++c.stats.hits;
+            return c.lru.front().second;
+        }
+    }
+    // Compute outside the lock: the window search can be expensive and may
+    // throw.  Two threads racing on the same key both compute the same
+    // deterministic weights; the loser's insert below just finds the entry
+    // already present.
+    auto weights = std::make_shared<const PoissonWeights>(fox_glynn(q, epsilon));
+    std::lock_guard<std::mutex> lock(c.mutex);
+    ++c.stats.misses;
+    const auto it = c.index.find(key);
+    if (it != c.index.end()) {
+        c.lru.splice(c.lru.begin(), c.lru, it->second);
+        return c.lru.front().second;
+    }
+    c.lru.emplace_front(key, std::move(weights));
+    c.index.emplace(key, c.lru.begin());
+    if (c.lru.size() > FoxGlynnCache::kCapacity) {
+        c.index.erase(c.lru.back().first);
+        c.lru.pop_back();
+    }
+    return c.lru.front().second;
+}
+
+FoxGlynnCacheStats fox_glynn_cache_stats() {
+    FoxGlynnCache& c = cache();
+    std::lock_guard<std::mutex> lock(c.mutex);
+    return c.stats;
+}
+
+void fox_glynn_cache_clear() {
+    FoxGlynnCache& c = cache();
+    std::lock_guard<std::mutex> lock(c.mutex);
+    c.lru.clear();
+    c.index.clear();
+    c.stats = {};
 }
 
 }  // namespace arcade::numeric

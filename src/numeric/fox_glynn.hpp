@@ -7,6 +7,7 @@
 #define ARCADE_NUMERIC_FOX_GLYNN_HPP
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 namespace arcade::numeric {
@@ -31,6 +32,29 @@ struct PoissonWeights {
 /// requested epsilon is below the summation's rounding floor), throws
 /// ConvergenceError instead of silently returning under-covering weights.
 [[nodiscard]] PoissonWeights fox_glynn(double q, double epsilon);
+
+/// fox_glynn through a small process-wide LRU cache keyed by the exact bit
+/// patterns of (q, epsilon).  Uniformisation walks a fixed time grid, so
+/// every step of every sweep cell over the same chain asks for the same
+/// (lambda·dt, epsilon) pair — the cache turns those recomputations into a
+/// shared lookup.  Cached weights are the same values fox_glynn would
+/// return (same computation, run once), so byte-identity of every consumer
+/// is preserved.  ConvergenceError is propagated, never cached.
+/// Thread-safe; callers keep the result alive via the shared_ptr even if
+/// the entry is evicted.
+[[nodiscard]] std::shared_ptr<const PoissonWeights> fox_glynn_cached(double q,
+                                                                     double epsilon);
+
+/// Hit/miss counters of the fox_glynn_cached LRU (process-wide).
+struct FoxGlynnCacheStats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+};
+
+[[nodiscard]] FoxGlynnCacheStats fox_glynn_cache_stats();
+
+/// Empties the LRU and zeroes its counters (tests).
+void fox_glynn_cache_clear();
 
 /// Direct Poisson pmf e^{-q} q^k / k!, numerically stable via logs.
 [[nodiscard]] double poisson_pmf(double q, std::size_t k);

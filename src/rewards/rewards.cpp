@@ -5,6 +5,8 @@
 
 #include "ctmc/steady_state.hpp"
 #include "ctmc/transient.hpp"
+#include "engine/workspace.hpp"
+#include "linalg/kernels.hpp"
 #include "linalg/vector_ops.hpp"
 #include "numeric/fox_glynn.hpp"
 #include "support/errors.hpp"
@@ -23,49 +25,33 @@ void check(const ctmc::Ctmc& chain, const RewardStructure& reward,
     ARCADE_ASSERT(initial.size() == chain.state_count(), "initial size mismatch");
 }
 
-/// out = in * P with P = I + Q/lambda.
-void uniformised_step(const ctmc::Ctmc& chain, double lambda, std::span<const double> in,
-                      std::span<double> out) {
-    const auto& rates = chain.rates();
-    const std::size_t n = rates.rows();
-    std::fill(out.begin(), out.end(), 0.0);
-    for (std::size_t i = 0; i < n; ++i) {
-        const double p = in[i];
-        if (p == 0.0) continue;
-        const auto cols = rates.row_columns(i);
-        const auto vals = rates.row_values(i);
-        double moved = 0.0;
-        for (std::size_t k = 0; k < cols.size(); ++k) {
-            if (cols[k] == i) continue;
-            const double q = vals[k] / lambda;
-            out[cols[k]] += p * q;
-            moved += q;
-        }
-        out[i] += p * (1.0 - moved);
-    }
-}
-
 /// E over one interval of length dt starting from distribution `dist`:
 ///   (1/L) sum_k (1 - F_k(L dt)) * (dist P^k) · rho
 /// Also advances `dist` to the end of the interval (re-using the powers).
 double accumulate_interval(const ctmc::Ctmc& chain, double lambda, std::vector<double>& dist,
-                           const std::vector<double>& rho, double dt, double epsilon) {
+                           const std::vector<double>& rho, double dt,
+                           const ctmc::TransientOptions& options) {
     if (dt <= 0.0) return 0.0;
     const double q = lambda * dt;
-    const auto weights = numeric::fox_glynn(q, epsilon);
+    const auto weights = numeric::fox_glynn_cached(q, options.epsilon);
 
     // Survival function of the Poisson: S_k = P(N > k) = 1 - F_k.
     // Computed from the normalised weights; mass below `left` counts as
     // already included in F (indices < left have negligible pmf).
     const std::size_t n = chain.state_count();
-    std::vector<double> cur = dist;
-    std::vector<double> next(n, 0.0);
-    std::vector<double> end_dist(n, 0.0);
+    engine::ScratchVector cur_scratch(options.workspace, n);
+    engine::ScratchVector next_scratch(options.workspace, n);
+    engine::ScratchVector end_scratch(options.workspace, n);
+    std::vector<double>& cur = cur_scratch.get();
+    std::vector<double>& next = next_scratch.get();
+    std::vector<double>& end_dist = end_scratch.get();
+    cur = dist;
+    std::fill(end_dist.begin(), end_dist.end(), 0.0);
 
     double cdf = 0.0;
     double total = 0.0;
     for (std::size_t k = 0;; ++k) {
-        const double w = weights.weight(k);
+        const double w = weights->weight(k);
         cdf += w;
         const double survival = std::max(0.0, 1.0 - cdf);
         // reward contribution of P^k term
@@ -75,8 +61,11 @@ double accumulate_interval(const ctmc::Ctmc& chain, double lambda, std::vector<d
         if (w != 0.0) {
             for (std::size_t i = 0; i < n; ++i) end_dist[i] += w * cur[i];
         }
-        if (k == weights.right) break;
-        uniformised_step(chain, lambda, cur, next);
+        if (k == weights->right) break;
+        // out = in * P with P = I + Q/lambda — the shared kernel performs
+        // exactly the scalar loop this file used to hand-roll, and picks up
+        // the ARCADE_KERNELS variant dispatch.
+        linalg::uniformised_multiply_left(chain.rates(), lambda, cur, next);
         std::swap(cur, next);
     }
     // Indices k < left all have survival 1 and are skipped by weight(k)==0 in
@@ -119,7 +108,7 @@ double accumulated_reward(const ctmc::Ctmc& chain, std::span<const double> initi
     ARCADE_ASSERT(t >= 0.0, "negative time bound");
     const double lambda = std::max(chain.max_exit_rate(), 1e-12) * 1.02;
     std::vector<double> dist(initial.begin(), initial.end());
-    return accumulate_interval(chain, lambda, dist, reward.state_rates(), t, options.epsilon);
+    return accumulate_interval(chain, lambda, dist, reward.state_rates(), t, options);
 }
 
 std::vector<double> accumulated_reward_series(const ctmc::Ctmc& chain,
@@ -146,8 +135,7 @@ std::vector<double> accumulated_reward_series(const ctmc::Ctmc& chain,
                                   "; grid times must be non-decreasing");
         }
         const double dt = std::max(0.0, t - prev);
-        acc += accumulate_interval(chain, lambda, dist, reward.state_rates(), dt,
-                                   options.epsilon);
+        acc += accumulate_interval(chain, lambda, dist, reward.state_rates(), dt, options);
         out.push_back(acc);
         prev = std::max(prev, t);
     }

@@ -136,3 +136,44 @@ TEST(FixpointSolver, HandlesDiagonalEntries) {
     num::fixpoint_gauss_seidel(a.build(), b, x);
     EXPECT_NEAR(x[0], 0.5, 1e-12);
 }
+
+TEST(FoxGlynnCache, CachedWeightsAreTheUncachedWeightsExactly) {
+    // The cache stores the result of the very computation fox_glynn() runs,
+    // so a cached lookup must be indistinguishable — same window, same
+    // weights bit for bit, same total — from calling fox_glynn() directly.
+    num::fox_glynn_cache_clear();
+    const double q = 37.25;
+    const double epsilon = 1e-12;
+    const auto direct = num::fox_glynn(q, epsilon);
+    const auto cached = num::fox_glynn_cached(q, epsilon);
+    ASSERT_NE(cached, nullptr);
+    EXPECT_EQ(cached->left, direct.left);
+    EXPECT_EQ(cached->right, direct.right);
+    ASSERT_EQ(cached->weights.size(), direct.weights.size());
+    for (std::size_t k = 0; k < direct.weights.size(); ++k) {
+        EXPECT_EQ(cached->weights[k], direct.weights[k]) << k;
+    }
+    EXPECT_EQ(cached->total_before_norm, direct.total_before_norm);
+}
+
+TEST(FoxGlynnCache, HitsAndMissesAreCountedAndSharedAcrossCallers) {
+    num::fox_glynn_cache_clear();
+    const auto before = num::fox_glynn_cache_stats();
+    EXPECT_EQ(before.hits, 0u);
+    EXPECT_EQ(before.misses, 0u);
+
+    const auto first = num::fox_glynn_cached(12.5, 1e-12);   // miss
+    const auto second = num::fox_glynn_cached(12.5, 1e-12);  // hit, same object
+    EXPECT_EQ(first.get(), second.get());
+    const auto other = num::fox_glynn_cached(12.5, 1e-10);   // different epsilon: miss
+    EXPECT_NE(first.get(), other.get());
+
+    const auto after = num::fox_glynn_cache_stats();
+    EXPECT_EQ(after.misses, 2u);
+    EXPECT_EQ(after.hits, 1u);
+
+    num::fox_glynn_cache_clear();
+    const auto cleared = num::fox_glynn_cache_stats();
+    EXPECT_EQ(cleared.hits, 0u);
+    EXPECT_EQ(cleared.misses, 0u);
+}
